@@ -1,0 +1,51 @@
+//! End-to-end throughput benchmarks: simulated instructions per second for
+//! each system on representative workloads. These gate the practicality of
+//! the experiment harness (the full Figure 5–7 sweep is 225 such runs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use d2m_common::MachineConfig;
+use d2m_sim::{AnySystem, SystemKind};
+use d2m_workloads::{catalog, TraceGen};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let mut group = c.benchmark_group("simulate");
+    for wl in ["swaptions", "tpc-c"] {
+        let spec = catalog::by_name(wl).unwrap();
+        for kind in [SystemKind::Base2L, SystemKind::D2mNsR] {
+            // One persistent system per benchmark: steady-state throughput,
+            // not cold-start costs.
+            let mut sys = AnySystem::build(kind, &cfg, 1);
+            let mut gen = TraceGen::new(&spec, cfg.nodes, 1);
+            let mut batch = Vec::new();
+            // Warm the hierarchy.
+            let mut warm = 0;
+            while warm < 200_000 {
+                batch.clear();
+                warm += gen.next_batch(&mut batch);
+                for a in &batch {
+                    sys.access(a, 0);
+                }
+            }
+            group.throughput(Throughput::Elements(48)); // ~insts per batch
+            group.bench_function(format!("{wl}/{}", kind.name()), |b| {
+                b.iter(|| {
+                    batch.clear();
+                    let insts = gen.next_batch(&mut batch);
+                    for a in &batch {
+                        black_box(sys.access(a, 0));
+                    }
+                    insts
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! §III-A ablation: D2M with a *traditional* front end (unmodified core,
+//! TLB + tagged L1) versus the full tag-less design. The paper claims such
+//! a system still "achieves most of the reported D2M advantages" — here we
+//! quantify what survives (traffic, miss latency) and what is lost (the
+//! per-access TLB/tag energy the MD1 eliminates).
+
+use d2m_bench::{header, machine, parse_args, rule};
+use d2m_core::{D2mFeatures, D2mSystem, D2mVariant};
+use d2m_energy::EnergyEvent;
+use d2m_sim::RunConfig;
+use d2m_workloads::{catalog, TraceGen};
+
+struct Outcome {
+    msgs_per_ki: f64,
+    frontend_pj_per_ki: f64,
+    avg_miss_latency: f64,
+}
+
+fn run(spec_name: &str, traditional: bool, rc: &RunConfig) -> Outcome {
+    let cfg = machine();
+    let spec = catalog::by_name(spec_name).expect("workload");
+    let feats = D2mFeatures {
+        near_side: true,
+        replication: true,
+        dynamic_indexing: !traditional,
+        bypass: false,
+        private_l2: false,
+        traditional_l1: traditional,
+    };
+    let mut sys = D2mSystem::with_features(&cfg, D2mVariant::NearSideRepl, feats, rc.seed);
+    let mut gen = TraceGen::new(&spec, cfg.nodes, rc.seed);
+    let mut batch = Vec::new();
+    let mut insts = 0u64;
+    let mut lat_sum = 0f64;
+    let mut lat_n = 0u64;
+    while insts < rc.warmup_instructions + rc.instructions {
+        batch.clear();
+        insts += gen.next_batch(&mut batch);
+        for a in &batch {
+            let r = sys.access(a, 0);
+            if !r.l1_hit {
+                lat_sum += r.latency as f64;
+                lat_n += 1;
+            }
+        }
+    }
+    let ki = insts as f64 / 1000.0;
+    // The front-end energy the two designs differ in: TLB + L1 tags vs MD1.
+    let frontend = sys.energy().event_pj_total(EnergyEvent::Tlb)
+        + sys.energy().event_pj_total(EnergyEvent::L1TagWay)
+        + sys.energy().event_pj_total(EnergyEvent::Md1);
+    Outcome {
+        msgs_per_ki: sys.noc().messages() as f64 / ki,
+        frontend_pj_per_ki: frontend / ki,
+        avg_miss_latency: lat_sum / lat_n.max(1) as f64,
+    }
+}
+
+fn main() {
+    let hc = parse_args();
+    header(
+        "§III-A ablation: traditional front end vs tag-less D2M",
+        &hc,
+    );
+    println!(
+        "\n{:<14} {:>12} {:>10} {:>14} {:>10}",
+        "workload", "front end", "msgs/KI", "frontend pJ/KI", "miss-lat"
+    );
+    rule(66);
+    for name in ["mix2", "facebook", "tpc-c"] {
+        for traditional in [false, true] {
+            let o = run(name, traditional, &hc.rc);
+            println!(
+                "{:<14} {:>12} {:>10.1} {:>14.0} {:>10.1}",
+                name,
+                if traditional {
+                    "TLB+tags"
+                } else {
+                    "MD1 (tag-less)"
+                },
+                o.msgs_per_ki,
+                o.frontend_pj_per_ki,
+                o.avg_miss_latency
+            );
+        }
+    }
+    rule(66);
+    println!(
+        "Traffic and miss latency — the coherence-side advantages — survive the\n\
+         traditional interface; the per-access front-end energy saving (MD1\n\
+         replacing TLB + tag comparisons) is what the tag-less L1 adds."
+    );
+}

@@ -1,0 +1,90 @@
+//! Calibration scratchpad: one representative workload per suite, all five
+//! systems, headline comparators vs the paper's targets. Not a paper
+//! artifact itself — used to tune workload/energy/latency parameters, and
+//! kept in-tree so the calibration is reproducible.
+
+use d2m_bench::{header, machine, parse_args};
+use d2m_sim::{run_matrix, SystemKind};
+use d2m_workloads::catalog;
+
+fn main() {
+    let hc = parse_args();
+    header("calibration sweep", &hc);
+    let cfg = machine();
+    let names = [
+        "blackscholes",
+        "canneal",
+        "streamcluster",
+        "barnes",
+        "lu_cb",
+        "facebook",
+        "cnn",
+        "mix1",
+        "mix2",
+        "tpc-c",
+    ];
+    let specs: Vec<_> = names
+        .iter()
+        .map(|n| catalog::by_name(n).expect("known workload"))
+        .collect();
+    let m = run_matrix(&cfg, &SystemKind::ALL, &specs, &hc.rc);
+
+    println!(
+        "\n{:<14} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7} {:>7} {:>6} {:>6}",
+        "workload",
+        "system",
+        "msgs/KI",
+        "EDPrel",
+        "speedup",
+        "L1I%",
+        "L1D%",
+        "misslat",
+        "NS-I",
+        "NS-D",
+        "priv",
+        "mem%"
+    );
+    for spec in &specs {
+        let base = m.get(SystemKind::Base2L, &spec.name).unwrap();
+        for kind in SystemKind::ALL {
+            let r = m.get(kind, &spec.name).unwrap();
+            println!(
+                "{:<14} {:>9} {:>7.1} {:>7.2} {:>7.3} {:>7.2} {:>7.2} {:>8.1} {:>7.2} {:>7.2} {:>6.2} {:>6.2}",
+                spec.name,
+                r.system,
+                r.msgs_per_kilo_inst,
+                r.edp_vs(base),
+                r.speedup_vs(base),
+                r.l1i_miss_pct,
+                r.l1d_miss_pct,
+                r.avg_miss_latency,
+                r.ns_hit_ratio_i,
+                r.ns_hit_ratio_d,
+                r.private_miss_frac,
+                r.mem_service_frac,
+            );
+        }
+        println!();
+    }
+
+    println!("--- aggregates (gmean over the sampled workloads) ---");
+    for kind in [
+        SystemKind::Base3L,
+        SystemKind::D2mFs,
+        SystemKind::D2mNs,
+        SystemKind::D2mNsR,
+    ] {
+        let sp = m.gmean_relative(kind, SystemKind::Base2L, None, |s, b| s.speedup_vs(b));
+        let edp = m.gmean_relative(kind, SystemKind::Base2L, None, |s, b| s.edp_vs(b));
+        let tr = m.gmean_relative(kind, SystemKind::Base2L, None, |s, b| s.traffic_vs(b));
+        let lat = m.gmean_relative(kind, SystemKind::Base2L, None, |s, b| {
+            s.avg_miss_latency / b.avg_miss_latency.max(1.0)
+        });
+        println!(
+            "{:>9}: speedup {:5.3} (paper B3L 1.04 FS 1.057 NS 1.07 NSR 1.085)  edp {:5.2} (NSR 0.46)  traffic {:5.2} (NSR 0.30)  misslat {:5.2} (NSR 0.70)",
+            kind.name(), sp, edp, tr, lat
+        );
+    }
+    let priv_frac = m.mean_absolute(SystemKind::D2mFs, None, |r| r.private_miss_frac);
+    println!("private-miss fraction (D2M-FS mean): {priv_frac:.2} (paper 0.68)");
+}

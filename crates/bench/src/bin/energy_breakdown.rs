@@ -1,0 +1,74 @@
+//! Per-structure energy breakdown (the composition behind Figure 6's
+//! stacked bars): where each system spends its dynamic energy on one
+//! workload. The paper's claim: "most energy is spent searching levels and
+//! moving data over the interconnect and between cache levels", which D2M
+//! eliminates.
+
+use d2m_bench::{header, machine, parse_args, rule};
+use d2m_energy::EnergyEvent;
+use d2m_sim::{AnySystem, SystemKind};
+use d2m_workloads::{catalog, TraceGen};
+
+fn main() {
+    let hc = parse_args();
+    header(
+        "Energy breakdown by structure (dynamic pJ per kilo-instruction)",
+        &hc,
+    );
+    let cfg = machine();
+    let name = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "facebook".to_string());
+    let spec = catalog::by_name(&name).expect("workload");
+    println!("workload: {name}\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "structure", "Base-2L", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R"
+    );
+    rule(68);
+    let mut columns = Vec::new();
+    for kind in SystemKind::ALL {
+        let mut sys = AnySystem::build(kind, &cfg, hc.rc.seed);
+        let mut gen = TraceGen::new(&spec, cfg.nodes, hc.rc.seed);
+        let mut batch = Vec::new();
+        let mut insts = 0;
+        while insts < hc.rc.instructions {
+            batch.clear();
+            insts += gen.next_batch(&mut batch);
+            for a in &batch {
+                sys.access(a, 0);
+            }
+        }
+        let ki = insts as f64 / 1000.0;
+        let per_event: Vec<f64> = EnergyEvent::ALL
+            .iter()
+            .map(|e| sys.energy().event_pj_total(*e) / ki)
+            .collect();
+        columns.push(per_event);
+    }
+    for (i, e) in EnergyEvent::ALL.iter().enumerate() {
+        if columns.iter().all(|c| c[i] < 0.005) {
+            continue;
+        }
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            e.name(),
+            columns[0][i],
+            columns[1][i],
+            columns[2][i],
+            columns[3][i],
+            columns[4][i]
+        );
+    }
+    rule(68);
+    let totals: Vec<f64> = columns.iter().map(|c| c.iter().sum()).collect();
+    println!(
+        "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+        "total", totals[0], totals[1], totals[2], totals[3], totals[4]
+    );
+    println!(
+        "\n(Structure accesses only; NoC/memory message energy is charged by the\n\
+         runner from the interconnect counters and leakage over cycles.)"
+    );
+}

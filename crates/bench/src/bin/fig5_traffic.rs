@@ -1,0 +1,79 @@
+//! Figure 5: network traffic in messages per 1000 instructions, per
+//! workload, for all five systems; D2M-specific traffic shown separately
+//! (the paper's lighter bars). Prints per-suite and overall reductions
+//! against the paper's headline (−70% for D2M-NS-R).
+
+use d2m_bench::{full_matrix, header, parse_args, rule};
+use d2m_sim::SystemKind;
+use d2m_workloads::catalog;
+
+fn main() {
+    let hc = parse_args();
+    header(
+        "Figure 5 — network traffic (messages / 1000 instructions)",
+        &hc,
+    );
+    let m = full_matrix(&hc);
+
+    println!(
+        "\n{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}   {:>8}",
+        "workload", "Base-2L", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R", "(d2m-msg)"
+    );
+    rule(86);
+    let mut cat = String::new();
+    for spec in catalog::all() {
+        if spec.category.name() != cat {
+            cat = spec.category.name().to_string();
+            println!("-- {cat} --");
+        }
+        let row: Vec<f64> = SystemKind::ALL
+            .iter()
+            .map(|k| m.get(*k, &spec.name).expect("run").msgs_per_kilo_inst)
+            .collect();
+        let d2m_part = m
+            .get(SystemKind::D2mNsR, &spec.name)
+            .expect("run")
+            .d2m_msgs_per_kilo_inst;
+        println!(
+            "{:<16} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}   {:>8.1}",
+            spec.name, row[0], row[1], row[2], row[3], row[4], d2m_part
+        );
+    }
+    rule(86);
+
+    println!("\n-- relative traffic vs Base-2L (gmean; paper: D2M-NS-R ≈ 0.30 overall) --");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}",
+        "suite", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R"
+    );
+    for cat in ["Parallel", "HPC", "Mobile", "Server", "Database"] {
+        let rel: Vec<f64> = [
+            SystemKind::Base3L,
+            SystemKind::D2mFs,
+            SystemKind::D2mNs,
+            SystemKind::D2mNsR,
+        ]
+        .iter()
+        .map(|k| m.gmean_relative(*k, SystemKind::Base2L, Some(cat), |s, b| s.traffic_vs(b)))
+        .collect();
+        println!(
+            "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            cat, rel[0], rel[1], rel[2], rel[3]
+        );
+    }
+    let overall = m.gmean_relative(SystemKind::D2mNsR, SystemKind::Base2L, None, |s, b| {
+        s.traffic_vs(b)
+    });
+    println!(
+        "\noverall D2M-NS-R traffic: {:.2}x Base-2L (measured {:.0}% reduction; paper: 70%)",
+        overall,
+        (1.0 - overall) * 100.0
+    );
+    let bytes = m.gmean_relative(SystemKind::D2mNsR, SystemKind::Base2L, None, |s, b| {
+        s.data_bytes_per_kilo_inst / b.data_bytes_per_kilo_inst.max(1e-9)
+    });
+    println!(
+        "overall D2M-NS-R data-byte traffic: {:.2}x Base-2L (paper: 65% reduction)",
+        bytes
+    );
+}

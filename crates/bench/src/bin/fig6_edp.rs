@@ -1,0 +1,84 @@
+//! Figure 6: cache-hierarchy EDP (static + dynamic) normalized to Base-2L,
+//! with the D2M-only (location tracker) energy share reported separately
+//! (the paper's lighter bars). Paper headline: D2M-NS-R reduces EDP by 54%
+//! vs Base-2L and 40% vs Base-3L.
+
+use d2m_bench::{full_matrix, header, parse_args, rule};
+use d2m_sim::SystemKind;
+use d2m_workloads::catalog;
+
+fn main() {
+    let hc = parse_args();
+    header("Figure 6 — cache-hierarchy EDP normalized to Base-2L", &hc);
+    let m = full_matrix(&hc);
+
+    println!(
+        "\n{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}   {:>9}",
+        "workload", "Base-2L", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R", "(md-en %)"
+    );
+    rule(84);
+    let mut cat = String::new();
+    for spec in catalog::all() {
+        if spec.category.name() != cat {
+            cat = spec.category.name().to_string();
+            println!("-- {cat} --");
+        }
+        let base = m.get(SystemKind::Base2L, &spec.name).expect("run");
+        let row: Vec<f64> = SystemKind::ALL
+            .iter()
+            .map(|k| m.get(*k, &spec.name).expect("run").edp_vs(base))
+            .collect();
+        let md_en = m
+            .get(SystemKind::D2mNsR, &spec.name)
+            .expect("run")
+            .d2m_energy_frac;
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}   {:>9.1}",
+            spec.name,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            md_en * 100.0
+        );
+    }
+    rule(84);
+
+    println!("\n-- EDP vs Base-2L (gmean) --");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}",
+        "suite", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R"
+    );
+    for cat in ["Parallel", "HPC", "Mobile", "Server", "Database"] {
+        let rel: Vec<f64> = [
+            SystemKind::Base3L,
+            SystemKind::D2mFs,
+            SystemKind::D2mNs,
+            SystemKind::D2mNsR,
+        ]
+        .iter()
+        .map(|k| m.gmean_relative(*k, SystemKind::Base2L, Some(cat), |s, b| s.edp_vs(b)))
+        .collect();
+        println!(
+            "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            cat, rel[0], rel[1], rel[2], rel[3]
+        );
+    }
+    let vs2l = m.gmean_relative(SystemKind::D2mNsR, SystemKind::Base2L, None, |s, b| {
+        s.edp_vs(b)
+    });
+    let vs3l = m.gmean_relative(SystemKind::D2mNsR, SystemKind::Base3L, None, |s, b| {
+        s.edp_vs(b)
+    });
+    println!(
+        "\nD2M-NS-R EDP: {:.0}% below Base-2L (paper: 54%), {:.0}% below Base-3L (paper: 40%)",
+        (1.0 - vs2l) * 100.0,
+        (1.0 - vs3l) * 100.0
+    );
+    // The cnn outlier check (paper §V-C): NS placement hurts cnn, replication recovers.
+    let cnn2l = m.get(SystemKind::Base2L, "cnn").expect("run");
+    let cnn_ns = m.get(SystemKind::D2mNs, "cnn").expect("run").edp_vs(cnn2l);
+    let cnn_nsr = m.get(SystemKind::D2mNsR, "cnn").expect("run").edp_vs(cnn2l);
+    println!("cnn outlier: D2M-NS {cnn_ns:.2} vs D2M-NS-R {cnn_nsr:.2} (replication should help)");
+}

@@ -1,0 +1,84 @@
+//! Figure 7: speedup over Base-2L under infinite bandwidth, plus the §V-D
+//! L1-miss latency comparison. Paper headlines: Base-3L ≈ +4%, D2M-FS ≈
+//! +5.7%, D2M-NS ≈ +7%, D2M-NS-R ≈ +8.5% (max 28%, Database); D2M-NS-R
+//! cuts average L1 miss latency by 30%.
+
+use d2m_bench::{full_matrix, header, parse_args, rule};
+use d2m_sim::SystemKind;
+use d2m_workloads::catalog;
+
+fn main() {
+    let hc = parse_args();
+    header("Figure 7 — speedup over Base-2L (infinite bandwidth)", &hc);
+    let m = full_matrix(&hc);
+
+    println!(
+        "\n{:<16} {:>8} {:>8} {:>8} {:>8}   {:>9}",
+        "workload", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R", "misslat-R"
+    );
+    rule(74);
+    let mut cat = String::new();
+    for spec in catalog::all() {
+        if spec.category.name() != cat {
+            cat = spec.category.name().to_string();
+            println!("-- {cat} --");
+        }
+        let base = m.get(SystemKind::Base2L, &spec.name).expect("run");
+        let sp = |k| (m.get(k, &spec.name).expect("run").speedup_vs(base) - 1.0) * 100.0;
+        let lat_rel = m
+            .get(SystemKind::D2mNsR, &spec.name)
+            .expect("run")
+            .avg_miss_latency
+            / base.avg_miss_latency.max(1.0);
+        println!(
+            "{:<16} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%   {:>8.2}x",
+            spec.name,
+            sp(SystemKind::Base3L),
+            sp(SystemKind::D2mFs),
+            sp(SystemKind::D2mNs),
+            sp(SystemKind::D2mNsR),
+            lat_rel
+        );
+    }
+    rule(74);
+
+    println!("\n-- speedup vs Base-2L (gmean; paper in parentheses) --");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}",
+        "suite", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R"
+    );
+    for cat in ["Parallel", "HPC", "Mobile", "Server", "Database"] {
+        let rel: Vec<f64> = [
+            SystemKind::Base3L,
+            SystemKind::D2mFs,
+            SystemKind::D2mNs,
+            SystemKind::D2mNsR,
+        ]
+        .iter()
+        .map(|k| {
+            (m.gmean_relative(*k, SystemKind::Base2L, Some(cat), |s, b| s.speedup_vs(b)) - 1.0)
+                * 100.0
+        })
+        .collect();
+        println!(
+            "{:<10} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            cat, rel[0], rel[1], rel[2], rel[3]
+        );
+    }
+    let overall =
+        |k| (m.gmean_relative(k, SystemKind::Base2L, None, |s, b| s.speedup_vs(b)) - 1.0) * 100.0;
+    println!(
+        "\noverall: Base-3L {:+.1}% (paper +4), D2M-FS {:+.1}% (paper +5.7), D2M-NS {:+.1}% (paper +7), D2M-NS-R {:+.1}% (paper +8.5)",
+        overall(SystemKind::Base3L),
+        overall(SystemKind::D2mFs),
+        overall(SystemKind::D2mNs),
+        overall(SystemKind::D2mNsR)
+    );
+    let lat = m.gmean_relative(SystemKind::D2mNsR, SystemKind::Base2L, None, |s, b| {
+        s.avg_miss_latency / b.avg_miss_latency.max(1.0)
+    });
+    println!(
+        "average L1-miss latency, D2M-NS-R: {:.0}% below Base-2L (paper: 30%)",
+        (1.0 - lat) * 100.0
+    );
+}

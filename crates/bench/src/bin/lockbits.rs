@@ -1,0 +1,46 @@
+//! Appendix lock-bit study: collision rates of the MD3 blocking mechanism
+//! for different lock-array sizes. Paper: 1 K lock bits give a negligible
+//! collision rate.
+
+use d2m_bench::{header, machine, parse_args, rule};
+use d2m_core::{D2mSystem, D2mVariant};
+use d2m_workloads::{catalog, TraceGen};
+
+fn main() {
+    let hc = parse_args();
+    header("Appendix — MD3 lock-bit collision rates", &hc);
+    println!(
+        "\n{:<12} {:>10} {:>14} {:>14} {:>12}",
+        "lock bits", "workload", "transactions", "collisions", "rate"
+    );
+    rule(68);
+    for bits in [64usize, 256, 1024, 4096] {
+        for name in ["barnes", "tpc-c"] {
+            let mut cfg = machine();
+            cfg.md3_lock_bits = bits;
+            let spec = catalog::by_name(name).expect("workload");
+            let mut sys = D2mSystem::new(&cfg, D2mVariant::FarSide);
+            let mut gen = TraceGen::new(&spec, cfg.nodes, hc.rc.seed);
+            let mut batch = Vec::new();
+            let mut insts = 0;
+            while insts < hc.rc.instructions {
+                batch.clear();
+                insts += gen.next_batch(&mut batch);
+                for a in &batch {
+                    sys.access(a, 0);
+                }
+            }
+            let lb = sys.lockbits();
+            println!(
+                "{:<12} {:>10} {:>14} {:>14} {:>11.3}%",
+                bits,
+                name,
+                lb.acquisitions(),
+                lb.collisions(),
+                lb.collision_rate() * 100.0
+            );
+        }
+    }
+    rule(68);
+    println!("paper: 1 K lock bits ⇒ negligible collision rate");
+}

@@ -1,0 +1,68 @@
+//! Appendix protocol-event mix: events per kilo memory operation (PKMO)
+//! for the basic D2M-FS architecture, averaged across all suites — the
+//! paper's case-by-case cost accounting (A 12.5, B 1.7, C 0.72, D 0.82
+//! with D1 0.32 / D2 0.02 / D3 0.14 / D4 0.34), and the "~90% of misses are
+//! directory-free" headline.
+
+use d2m_bench::{header, machine, parse_args, rule};
+use d2m_sim::{run_one, SystemKind};
+use d2m_workloads::catalog;
+
+fn main() {
+    let hc = parse_args();
+    header(
+        "Appendix — protocol events per kilo memory operation (D2M-FS)",
+        &hc,
+    );
+    let cfg = machine();
+
+    let keys = [
+        ("case.a", "A: read miss, MD hit", 12.5),
+        ("case.a_llc", "   A → master in LLC", 8.9),
+        ("case.a_mem", "   A → master in MEM", 2.7),
+        ("case.a_remote", "   A → master remote node", 0.8),
+        ("case.b", "B: write miss, private", 1.7),
+        ("case.c", "C: write, shared", 0.72),
+        ("case.d", "D: MD2 miss (ReadMM)", 0.82),
+        ("case.d1", "   D1 untracked→private", 0.32),
+        ("case.d2", "   D2 private→shared", 0.02),
+        ("case.d3", "   D3 shared→shared", 0.14),
+        ("case.d4", "   D4 uncached→private", 0.34),
+        ("case.e", "E: evict master, private", f64::NAN),
+        ("case.f", "F: evict master, shared", f64::NAN),
+    ];
+    let mut sums = vec![0f64; keys.len()];
+    let mut memops = 0f64;
+    let mut free_n = 0f64;
+    let mut free_d = 0f64;
+    for spec in catalog::all() {
+        let m = run_one(SystemKind::D2mFs, &cfg, &spec, &hc.rc);
+        let ops = (m.counters.get("loads") + m.counters.get("stores")) as f64;
+        memops += ops;
+        for (i, (k, _, _)) in keys.iter().enumerate() {
+            sums[i] += m.counters.get(k) as f64;
+        }
+        let a = m.counters.get("case.a") as f64;
+        let b = m.counters.get("case.b") as f64;
+        let c = m.counters.get("case.c") as f64;
+        let d = m.counters.get("case.d") as f64;
+        free_n += a + b;
+        free_d += a + b + c + d;
+    }
+
+    println!("\n{:<30} {:>10} {:>10}", "event", "measured", "paper");
+    rule(54);
+    for (i, (_, label, paper)) in keys.iter().enumerate() {
+        let v = sums[i] / memops * 1000.0;
+        if paper.is_nan() {
+            println!("{label:<30} {v:>10.2} {:>10}", "-");
+        } else {
+            println!("{label:<30} {v:>10.2} {paper:>10.2}");
+        }
+    }
+    rule(54);
+    println!(
+        "directory-free misses (A+B)/(A+B+C+D): {:.0}%  (paper: ~90%)",
+        free_n / free_d * 100.0
+    );
+}

@@ -1,0 +1,55 @@
+//! §V-B structure-pressure comparison: how often D2M's MD3 is consulted
+//! versus the baselines' directory, and MD2 versus Base-3L's L2 tags.
+//! Paper: MD3 accesses are 11% of Base-2L directory accesses and 27% of
+//! Base-3L's; MD2 is accessed 58% as often as the Base-3L L2 tags.
+
+use d2m_bench::{full_matrix, header, parse_args, rule};
+use d2m_sim::SystemKind;
+use d2m_workloads::catalog;
+
+fn main() {
+    let hc = parse_args();
+    header("§V-B — metadata/directory structure pressure", &hc);
+    let m = full_matrix(&hc);
+
+    let mut md3_vs_2l = Vec::new();
+    let mut md3_vs_3l = Vec::new();
+    let mut md2_vs_l2tag = Vec::new();
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>12}",
+        "workload", "MD3/dir(2L)", "MD3/dir(3L)", "MD2/L2tag"
+    );
+    rule(56);
+    for spec in catalog::all() {
+        let b2 = m.get(SystemKind::Base2L, &spec.name).expect("run");
+        let b3 = m.get(SystemKind::Base3L, &spec.name).expect("run");
+        let fs = m.get(SystemKind::D2mFs, &spec.name).expect("run");
+        let r1 = fs.dir_or_md3_accesses as f64 / b2.dir_or_md3_accesses.max(1) as f64;
+        let r2 = fs.dir_or_md3_accesses as f64 / b3.dir_or_md3_accesses.max(1) as f64;
+        let r3 = fs.md2_or_l2tag_accesses as f64 / b3.md2_or_l2tag_accesses.max(1) as f64;
+        md3_vs_2l.push(r1);
+        md3_vs_3l.push(r2);
+        md2_vs_l2tag.push(r3);
+        println!(
+            "{:<16} {:>11.0}% {:>11.0}% {:>11.0}%",
+            spec.name,
+            r1 * 100.0,
+            r2 * 100.0,
+            r3 * 100.0
+        );
+    }
+    rule(56);
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    println!(
+        "average: MD3 = {:.0}% of Base-2L directory accesses (paper: 11%)",
+        mean(&md3_vs_2l)
+    );
+    println!(
+        "         MD3 = {:.0}% of Base-3L directory accesses (paper: 27%)",
+        mean(&md3_vs_3l)
+    );
+    println!(
+        "         MD2 = {:.0}% of Base-3L L2-tag searches    (paper: 58%)",
+        mean(&md2_vs_l2tag)
+    );
+}

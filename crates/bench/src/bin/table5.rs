@@ -1,0 +1,66 @@
+//! Table V: received invalidations (including region-grain false
+//! invalidations) normalized to Base-2L, and the percentage of private-cache
+//! misses that hit regions classified private. Paper headline: 68% of
+//! misses are to private regions on average; Server mixes are 100% private.
+
+use d2m_bench::{full_matrix, header, parse_args, rule};
+use d2m_sim::SystemKind;
+use d2m_workloads::catalog;
+
+fn main() {
+    let hc = parse_args();
+    header(
+        "Table V — invalidations vs Base-2L, private-region misses",
+        &hc,
+    );
+    let m = full_matrix(&hc);
+
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>12}",
+        "workload", "inv(B2L)/KI", "inv(NSR)rel%", "priv-miss%"
+    );
+    rule(58);
+    let mut cat = String::new();
+    let mut priv_all = Vec::new();
+    for spec in catalog::all() {
+        if spec.category.name() != cat {
+            cat = spec.category.name().to_string();
+            println!("-- {cat} --");
+        }
+        let base = m.get(SystemKind::Base2L, &spec.name).expect("run");
+        let nsr = m.get(SystemKind::D2mNsR, &spec.name).expect("run");
+        let ki = base.instructions as f64 / 1000.0;
+        let rel = if base.invalidations == 0 {
+            if nsr.invalidations == 0 {
+                100.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            nsr.invalidations as f64 / base.invalidations as f64 * 100.0
+        };
+        priv_all.push(nsr.private_miss_frac);
+        println!(
+            "{:<16} {:>12.2} {:>12.0} {:>12.0}",
+            spec.name,
+            base.invalidations as f64 / ki,
+            rel,
+            nsr.private_miss_frac * 100.0
+        );
+    }
+    rule(58);
+    for cat in ["Parallel", "HPC", "Mobile", "Server", "Database"] {
+        let p = m.mean_absolute(SystemKind::D2mNsR, Some(cat), |r| r.private_miss_frac);
+        println!("{:<10} private-miss fraction: {:>5.0}%", cat, p * 100.0);
+    }
+    let avg = priv_all.iter().sum::<f64>() / priv_all.len() as f64;
+    println!(
+        "\naverage: {:.0}% of misses to private regions (paper: 68%; Server: 100%)",
+        avg * 100.0
+    );
+    let server = m.mean_absolute(SystemKind::D2mNsR, Some("Server"), |r| r.private_miss_frac);
+    assert!(
+        server > 0.999,
+        "Server mixes must be fully private, got {server}"
+    );
+}

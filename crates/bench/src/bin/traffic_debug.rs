@@ -1,0 +1,76 @@
+//! Message-class breakdown for calibration: which protocol messages make up
+//! each system's traffic on a given workload.
+
+use d2m_bench::{machine, parse_args};
+use d2m_sim::{run_one, SystemKind};
+use d2m_workloads::catalog;
+
+fn main() {
+    let hc = parse_args();
+    let cfg = machine();
+    let names: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let names = if names.is_empty() {
+        vec!["mix2".to_string(), "tpc-c".to_string()]
+    } else {
+        names
+    };
+    for name in names {
+        let spec = catalog::by_name(&name).expect("workload");
+        println!("=== {name} ===");
+        for kind in [SystemKind::Base2L, SystemKind::D2mFs, SystemKind::D2mNsR] {
+            let m = run_one(kind, &cfg, &spec, &hc.rc);
+            println!(
+                "\n{} — {:.1} msgs/KI, miss I {:.2} D {:.2} /100inst, inv {}, edp {:.3e}, mem_frac {:.2}, ns I/D {:.2}/{:.2}, late I/D {:.2}/{:.2}, misslat {:.0}",
+                m.system,
+                m.msgs_per_kilo_inst,
+                m.l1i_miss_pct,
+                m.l1d_miss_pct,
+                m.invalidations,
+                m.edp,
+                m.mem_service_frac,
+                m.ns_hit_ratio_i,
+                m.ns_hit_ratio_d,
+                m.late_i_pct,
+                m.late_d_pct,
+                m.avg_miss_latency,
+            );
+            let ki = m.instructions as f64 / 1000.0;
+            for (k, v) in m.counters.iter() {
+                if k.starts_with("noc.msg.") && v > 0 {
+                    println!("  {:<24} {:>10.2}/KI", &k[8..], v as f64 / ki);
+                }
+            }
+            for key in [
+                "md2.evictions",
+                "md2.prunes",
+                "md3.evictions",
+                "case.a",
+                "case.b",
+                "case.c",
+                "case.d1",
+                "case.d2",
+                "case.d3",
+                "case.d4",
+                "case.silent_upgrade",
+                "md1.hits",
+                "md1.accesses",
+                "md2.hits",
+                "md2.accesses",
+                "md3.accesses",
+                "case.d",
+                "case.e",
+                "case.f",
+                "mem.fills",
+            ] {
+                let v = m.counters.get(key);
+                if v > 0 {
+                    println!("  {:<24} {:>10.2}/KI", key, v as f64 / ki);
+                }
+            }
+        }
+        println!();
+    }
+}

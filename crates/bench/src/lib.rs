@@ -1,0 +1,134 @@
+//! Experiment harness reproducing every table and figure of the D2M paper.
+//!
+//! Each binary in `src/bin/` regenerates one paper artifact and prints
+//! paper-vs-measured columns:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table4` | Table IV — L1 miss / late-hit ratios, NS-LLC hit ratios |
+//! | `table5` | Table V — received invalidations, % misses to private regions |
+//! | `fig5_traffic` | Figure 5 — network messages / kilo-instruction |
+//! | `fig6_edp` | Figure 6 — cache-hierarchy EDP normalized to Base-2L |
+//! | `fig7_speedup` | Figure 7 — speedup over Base-2L |
+//! | `pkmo` | Appendix — protocol events per kilo memory operation |
+//! | `structure_pressure` | §V-B — MD3 vs directory, MD2 vs L2-tag pressure |
+//! | `ablation_mdscale` | footnote 5 — MD capacity 1×/2×/4× sweep |
+//! | `ablation_scramble` | §IV-D — dynamic indexing on strided workloads |
+//! | `lockbits` | appendix — MD3 lock-bit collision rates |
+//! | `ablation_bypass` | §I — region-predictor cache bypassing |
+//! | `ablation_private_l2` | Figure 2 — optional private L2 level |
+//! | `ablation_traditional` | §III-A — traditional front end |
+//! | `energy_breakdown` | Figure 6 — per-structure energy composition |
+//! | `workload_stats` | catalog parameter listing |
+//! | `calibrate`, `traffic_debug` | calibration utilities (kept for reproducibility) |
+//!
+//! All binaries accept `--quick` for a fast, reduced-length run.
+
+use d2m_common::config::MachineConfig;
+use d2m_sim::{MatrixResult, RunConfig, SystemKind};
+use d2m_workloads::catalog;
+
+/// Harness-wide run parameters derived from the command line.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessConfig {
+    /// Simulation length per (system, workload) pair.
+    pub rc: RunConfig,
+    /// True when `--quick` was passed.
+    pub quick: bool,
+}
+
+/// Parses harness flags (`--quick`) from `std::env::args`.
+pub fn parse_args() -> HarnessConfig {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rc = if quick {
+        RunConfig {
+            instructions: 150_000,
+            warmup_instructions: 80_000,
+            seed: 42,
+        }
+    } else {
+        RunConfig::full()
+    };
+    HarnessConfig { rc, quick }
+}
+
+/// The evaluation machine configuration (Table III analogue).
+pub fn machine() -> MachineConfig {
+    MachineConfig::default()
+}
+
+/// Prints a rule line matching `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}", x * 100.0)
+}
+
+/// Runs (or loads from the on-disk cache) the full 45-workload × 5-system
+/// matrix behind Tables IV/V and Figures 5/6/7.
+///
+/// The cache lives under `target/` and is keyed by run length and seed, so
+/// the five figure binaries share one sweep.
+pub fn full_matrix(hc: &HarnessConfig) -> MatrixResult {
+    let cfg_hash = {
+        // Key the cache by the full machine configuration, so parameter
+        // changes invalidate stale sweeps.
+        let json = serde_json::to_string(&machine()).expect("serializable config");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    };
+    let cache = format!(
+        "target/d2m-matrix-{}-{}-{}-{cfg_hash:016x}.json",
+        hc.rc.instructions, hc.rc.warmup_instructions, hc.rc.seed
+    );
+    if let Ok(bytes) = std::fs::read(&cache) {
+        if let Ok(runs) = serde_json::from_slice(&bytes) {
+            eprintln!("[matrix] loaded cache {cache}");
+            return MatrixResult::from_runs(runs);
+        }
+    }
+    eprintln!("[matrix] running 45 workloads x 5 systems (cache: {cache}) ...");
+    let t0 = std::time::Instant::now();
+    let m = d2m_sim::run_matrix(&machine(), &SystemKind::ALL, &catalog::all(), &hc.rc);
+    eprintln!("[matrix] done in {:.0?}", t0.elapsed());
+    if let Ok(bytes) = serde_json::to_vec(m.runs()) {
+        let _ = std::fs::write(&cache, bytes);
+    }
+    let csv = cache.replace(".json", ".csv");
+    let _ = std::fs::write(&csv, d2m_sim::metrics::to_csv(m.runs()));
+    eprintln!("[matrix] CSV for external plotting: {csv}");
+    m
+}
+
+/// Prints the standard harness header.
+pub fn header(title: &str, hc: &HarnessConfig) {
+    println!("== {title} ==");
+    println!(
+        "   {} instructions / workload ({} warmup){}",
+        hc.rc.instructions,
+        hc.rc.warmup_instructions,
+        if hc.quick { "  [--quick]" } else { "" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_is_valid() {
+        machine().validate().unwrap();
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.545).trim(), "54.5");
+    }
+}

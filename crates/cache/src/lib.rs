@@ -1,0 +1,28 @@
+//! Generic cache structures shared by the baselines and D2M.
+//!
+//! * [`set_assoc`] — a set-associative array with LRU/random replacement,
+//!   cost-biased victim selection (used by the metadata stores' region-aware
+//!   policies) and direct `(set, way)` addressing (used by D2M's tag-less
+//!   data arrays, which are never searched by key).
+//! * [`tlb`] — a small TLB model with deterministic translation.
+//! * [`scramble`] — index-scrambling helpers for the paper's dynamic-indexing
+//!   optimization (§IV-D).
+//!
+//! # Example
+//!
+//! ```
+//! use d2m_cache::set_assoc::SetAssoc;
+//!
+//! let mut l1: SetAssoc<u32> = SetAssoc::new(64, 8);
+//! let set = l1.set_index(0x40);
+//! let way = l1.victim_way(set);
+//! l1.insert_at(set, way, 0x40, 7);
+//! assert_eq!(l1.get(set, 0x40), Some(&7));
+//! ```
+
+pub mod scramble;
+pub mod set_assoc;
+pub mod tlb;
+
+pub use set_assoc::SetAssoc;
+pub use tlb::Tlb;

@@ -1,0 +1,68 @@
+//! Per-access outcome vocabulary shared by all simulated systems.
+//!
+//! Every system (Base-2L, Base-3L, the D2M variants) reports each memory
+//! access through the same [`AccessResult`] so the runner can compute the
+//! paper's metrics — L1 miss ratios and late hits (Table IV), near-side hit
+//! ratios (Table IV right half), average L1 miss latency (§V-D) — without
+//! knowing which hierarchy produced them.
+
+/// Which level ultimately serviced an access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ServicedBy {
+    /// L1 hit (I or D side implied by the access kind).
+    L1,
+    /// Private L2 hit (Base-3L only).
+    L2,
+    /// The node's own near-side LLC slice (D2M-NS/NS-R only).
+    LocalNs,
+    /// A remote node's NS slice (D2M-NS/NS-R only).
+    RemoteNs,
+    /// The far-side shared LLC.
+    Llc,
+    /// A master copy in a remote node's private hierarchy.
+    RemoteNode,
+    /// Main memory.
+    Mem,
+}
+
+impl ServicedBy {
+    /// True when the data came from some LLC slice (near or far) — the
+    /// denominator of Table IV's near-side hit ratios.
+    pub fn is_llc_level(self) -> bool {
+        matches!(
+            self,
+            ServicedBy::LocalNs | ServicedBy::RemoteNs | ServicedBy::Llc
+        )
+    }
+}
+
+/// Outcome of one memory access.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessResult {
+    /// End-to-end latency in cycles (including the L1 access itself).
+    pub latency: u32,
+    /// True when the access hit in L1.
+    pub l1_hit: bool,
+    /// True when the access hit a line whose fill had not yet completed
+    /// (Table IV "Late Hits"): it pays the remaining fill latency.
+    pub late: bool,
+    /// The level that ultimately provided the data.
+    pub serviced_by: ServicedBy,
+    /// For systems with region classification (D2M): on a private-cache
+    /// miss, whether the missing region was classified private (Table V).
+    /// `None` for L1 hits and for the baselines.
+    pub private_miss: Option<bool>,
+}
+
+impl AccessResult {
+    /// Convenience constructor for a plain L1 hit.
+    pub fn l1_hit(latency: u32) -> Self {
+        Self {
+            latency,
+            l1_hit: true,
+            late: false,
+            serviced_by: ServicedBy::L1,
+            private_miss: None,
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component of the simulator (workload generation, random
+//! replacement, the NS allocation policy's 80/20 split, …) draws from a
+//! [`SimRng`] derived from a master seed plus a component label. Identical
+//! configurations therefore produce bit-identical simulations on every
+//! platform, which the integration tests assert.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// A deterministic, splittable RNG stream.
+///
+/// # Example
+///
+/// ```
+/// use d2m_common::rng::SimRng;
+/// use rand::RngCore;
+///
+/// let mut a = SimRng::from_label(42, "workload/canneal/node0");
+/// let mut b = SimRng::from_label(42, "workload/canneal/node0");
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng(ChaCha12Rng);
+
+impl SimRng {
+    /// Derives a stream from a master seed and a component label.
+    ///
+    /// Distinct labels yield statistically independent streams; the same
+    /// `(seed, label)` pair always yields the same stream.
+    pub fn from_label(seed: u64, label: &str) -> Self {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        // FNV-1a over the label fills the rest of the key deterministically.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        key[8..16].copy_from_slice(&h.to_le_bytes());
+        let mut h2 = h.rotate_left(31) ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for b in label.as_bytes().iter().rev() {
+            h2 ^= *b as u64;
+            h2 = h2.wrapping_mul(0x100_0000_01b5);
+        }
+        key[16..24].copy_from_slice(&h2.to_le_bytes());
+        Self(ChaCha12Rng::from_seed(key))
+    }
+
+    /// Splits off an independent child stream.
+    pub fn split(&mut self, label: &str) -> Self {
+        Self::from_label(self.0.next_u64(), label)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        self.0.gen_range(0..bound)
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.0.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// A Zipf-distributed rank in `[0, n)` with exponent `s`, computed by
+    /// inverse-transform over an approximate harmonic CDF.
+    ///
+    /// Small ranks are most likely — callers map rank 0 to the hottest item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0);
+        if n == 1 {
+            return 0;
+        }
+        // Approximate inverse CDF for the Zipf distribution (bounded Pareto
+        // approach): good enough for locality shaping, cheap, deterministic.
+        let u = self.unit().max(1e-12);
+        if (s - 1.0).abs() < 1e-9 {
+            let hn = (n as f64).ln();
+            return ((u * hn).exp() - 1.0).min(n as f64 - 1.0) as u64;
+        }
+        let e = 1.0 - s;
+        let hn = ((n as f64).powf(e) - 1.0) / e;
+        let x = (1.0 + u * hn * e).powf(1.0 / e) - 1.0;
+        (x.min(n as f64 - 1.0)) as u64
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let mut a = SimRng::from_label(7, "x");
+        let mut b = SimRng::from_label(7, "x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = SimRng::from_label(7, "x");
+        let mut b = SimRng::from_label(7, "y");
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::from_label(1, "x");
+        let mut b = SimRng::from_label(2, "x");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::from_label(1, "bound");
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let mut r = SimRng::from_label(1, "zipf");
+        let n = 1000u64;
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            let v = r.zipf(n, 0.9);
+            assert!(v < n);
+            if v < n / 10 {
+                low += 1;
+            }
+        }
+        // With s=0.9 the hottest decile should attract well over half the mass.
+        assert!(low > 5_000, "zipf not skewed: {low}");
+    }
+
+    #[test]
+    fn zipf_handles_degenerate_sizes() {
+        let mut r = SimRng::from_label(1, "z1");
+        assert_eq!(r.zipf(1, 1.0), 0);
+        assert!(r.zipf(2, 1.0) < 2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_label(1, "c");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

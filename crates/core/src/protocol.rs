@@ -1,0 +1,1934 @@
+//! The unified data + metadata coherence protocol (paper §III-C, appendix).
+//!
+//! Every memory access executes one atomic transaction (MD3 blocking is
+//! implicit — see `DESIGN.md` §2). The appendix's cases map to:
+//!
+//! * **A** (read miss, MD hit) — `D2mSystem::read_miss` with direct access
+//!   to the master (LLC slot, memory, or a remote node's MD).
+//! * **B** (write miss, private) — `D2mSystem::write_miss`: direct read of
+//!   the master, silent promotion to a new master.
+//! * **C** (write, shared) — `D2mSystem::case_c_invalidate`: blocking MD3
+//!   round, invalidations multicast to PB nodes, LIs repointed to the writer.
+//! * **D1–D4** (MD2 miss) — `D2mSystem::md3_transaction`.
+//! * **E/F** (master evictions) — `D2mSystem::evict_data_line`: copy to
+//!   the victim location named by the RP, flip the active LI; shared regions
+//!   add the EvictReq/NewMaster round.
+//!
+//! Key invariants maintained throughout (checked by [`crate::invariants`]):
+//! deterministic LIs, a single master per line, metadata inclusion, and
+//! PB ⇔ MD2-residency.
+
+use d2m_common::addr::{LineAddr, NodeId, RegionAddr, LINES_PER_REGION};
+use d2m_common::outcome::{AccessResult, ServicedBy};
+use d2m_energy::EnergyEvent;
+use d2m_noc::{Endpoint, MsgClass};
+use d2m_workloads::{Access, AccessKind};
+
+use crate::data::DataLine;
+use crate::li::Li;
+use crate::meta::{Md1Entry, Md1Side, Md2Entry, Md3Entry, RegionClass, TrackingPtr};
+use crate::system::{ArrKind, D2mSystem, MdRef};
+
+impl D2mSystem {
+    /// Simulates one access issued at node-local cycle `now`.
+    pub fn access(&mut self, a: &Access, now: u64) -> AccessResult {
+        self.ctr.accesses += 1;
+        match a.kind {
+            AccessKind::IFetch => self.ctr.ifetches += 1,
+            AccessKind::Load => self.ctr.loads += 1,
+            AccessKind::Store => self.ctr.stores += 1,
+        }
+        self.tick_pressure_window();
+        let node = a.node.index();
+        let is_i = a.kind.is_ifetch();
+        let is_store = a.kind.is_store();
+        let off = usize::from(a.vaddr.region_offset());
+
+        let (md, region, md_hit, mut latency) = self.resolve_metadata(node, is_i, a);
+        let private = self.md_private(node, md);
+        let line = region.line(crate::meta_line_offset(off));
+        latency += self.cfg.lat.l1;
+
+        if let Li::L1 { way } = self.li_get(node, md, off) {
+            // ---- L1 hit (the MD1 lookup doubles as the "tag" check) ----
+            let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
+            let set = self.l1_set(line);
+            self.energy.record(EnergyEvent::L1Array, 1);
+            let slot = match self.arr(node, kind).at(set, way as usize) {
+                Some((k, dl)) if k == line.raw() => *dl,
+                _ => {
+                    // A deterministic-LI violation: fall back to memory.
+                    self.ctr.determinism_errors += 1;
+                    debug_assert!(false, "LI pointed at a wrong L1 slot");
+                    return self.miss_path(
+                        node, is_i, is_store, line, off, md, private, md_hit, latency, now,
+                    );
+                }
+            };
+            let mut late = false;
+            if now < slot.ready_at {
+                late = true;
+                latency += (slot.ready_at - now) as u32;
+                if is_i {
+                    self.ctr.late_hits_i += 1;
+                } else {
+                    self.ctr.late_hits_d += 1;
+                }
+            }
+            if is_i {
+                self.ctr.l1i_hits += 1;
+            } else {
+                self.ctr.l1d_hits += 1;
+            }
+            if is_store {
+                latency += self.write_hit(node, line, off, md, private, set, way as usize);
+            } else if self.cfg.check_coherence {
+                if let Err(e) = self.oracle.check_load(line, slot.version) {
+                    self.ctr.coherence_errors += 1;
+                    debug_assert!(false, "{e}");
+                }
+            }
+            self.arr_mut(node, kind).touch(set, way as usize);
+            return AccessResult {
+                latency,
+                l1_hit: true,
+                late,
+                serviced_by: ServicedBy::L1,
+                private_miss: None,
+            };
+        }
+
+        self.miss_path(
+            node, is_i, is_store, line, off, md, private, md_hit, latency, now,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn miss_path(
+        &mut self,
+        node: usize,
+        is_i: bool,
+        is_store: bool,
+        line: LineAddr,
+        off: usize,
+        md: MdRef,
+        private: bool,
+        md_hit: bool,
+        mut latency: u32,
+        now: u64,
+    ) -> AccessResult {
+        if is_i {
+            self.ctr.l1i_misses += 1;
+        } else {
+            self.ctr.l1d_misses += 1;
+        }
+        // Table V classifies *data* misses (the paper reports "percent of
+        // data misses to private regions").
+        if !is_i {
+            self.ctr.classified_misses += 1;
+            if private {
+                self.ctr.private_region_misses += 1;
+            }
+        }
+
+        let li = self.li_get(node, md, off);
+        let (lat, serviced, dl) = if is_store {
+            let r = self.write_miss(node, line, off, md, private, li);
+            if md_hit {
+                if private {
+                    self.ev.b_write_private += 1;
+                } else {
+                    self.ev.c_write_shared += 1;
+                }
+            }
+            r
+        } else {
+            let r = self.read_miss(node, is_i, line, off, li);
+            if md_hit {
+                self.ev.a_read_md_hit += 1;
+                match r.1 {
+                    ServicedBy::Llc | ServicedBy::LocalNs | ServicedBy::RemoteNs => {
+                        self.ev.a_master_llc += 1
+                    }
+                    ServicedBy::Mem => self.ev.a_master_mem += 1,
+                    ServicedBy::RemoteNode => self.ev.a_master_remote += 1,
+                    _ => {}
+                }
+            }
+            r
+        };
+        latency += lat;
+
+        if !is_store && self.cfg.check_coherence {
+            if let Err(e) = self.oracle.check_load(line, dl.version) {
+                self.ctr.coherence_errors += 1;
+                debug_assert!(false, "{e}");
+            }
+        }
+
+        let mut dl = dl;
+        dl.ready_at = now + latency as u64;
+        let way = self.install_l1(node, is_i, line, dl);
+        self.li_set(node, md, off, Li::L1 { way: way as u8 });
+
+        self.ctr.miss_latency_sum += latency as u64;
+        self.ctr.miss_count += 1;
+        AccessResult {
+            latency,
+            l1_hit: false,
+            late: false,
+            serviced_by: serviced,
+            private_miss: Some(private),
+        }
+    }
+
+    // ================= metadata resolution =================
+
+    /// MD1 → MD2 → (case D) resolution. Returns the active metadata
+    /// reference, the physical region, whether the metadata was already
+    /// resident (MD1 or MD2 hit), and the added latency.
+    fn resolve_metadata(
+        &mut self,
+        node: usize,
+        is_i: bool,
+        a: &Access,
+    ) -> (MdRef, RegionAddr, bool, u32) {
+        if self.feats.traditional_l1 {
+            return self.resolve_metadata_traditional(node, is_i, a);
+        }
+        let key1 = Self::md1_key(a.vaddr.vregion().raw(), a.asid.0);
+        self.ctr.md1_accesses += 1;
+        self.energy.record(EnergyEvent::Md1, 1);
+        let md1 = if is_i {
+            &mut self.nodes[node].md1i
+        } else {
+            &mut self.nodes[node].md1d
+        };
+        let set1 = md1.set_index(key1);
+        if let Some(way1) = md1.way_of(set1, key1) {
+            self.ctr.md1_hits += 1;
+            md1.touch(set1, way1);
+            let region = md1.at(set1, way1).map(|(_, e)| e.region).expect("occupied");
+            return (
+                MdRef::Md1 {
+                    is_i,
+                    set: set1,
+                    way: way1,
+                },
+                region,
+                true,
+                0,
+            );
+        }
+
+        // MD1 miss: TLB2 translation + MD2 lookup.
+        let mut lat = self.cfg.lat.tlb2 + self.cfg.lat.md2;
+        self.energy.record(EnergyEvent::Tlb, 1);
+        let (paddr, tlb_hit) = self.nodes[node].tlb2.access(a.asid, a.vaddr);
+        if !tlb_hit {
+            lat += self.cfg.lat.tlb_walk;
+        }
+        let region = paddr.region();
+        self.ctr.md2_accesses += 1;
+        self.energy.record(EnergyEvent::Md2, 1);
+        let md2 = &mut self.nodes[node].md2;
+        let set2 = md2.set_index(region.raw());
+        let (md_hit, set2, way2) = if let Some(way2) = md2.way_of(set2, region.raw()) {
+            self.ctr.md2_hits += 1;
+            md2.touch(set2, way2);
+            (true, set2, way2)
+        } else {
+            // Case D: fetch region metadata from MD3.
+            let (private, li, dlat) = self.md3_transaction(node, region);
+            lat += dlat;
+            let (s, w) = self.install_md2(node, region, private, li, is_i);
+            (false, s, w)
+        };
+        let mdref = self.activate_md1(node, is_i, key1, region, set2, way2);
+        (mdref, region, md_hit, lat)
+    }
+
+    /// §III-A traditional front end: every access pays TLB1 + one L1 tag
+    /// comparison (way prediction) instead of the MD1 lookup, and metadata
+    /// resolution goes straight to the physically-tagged MD2.
+    fn resolve_metadata_traditional(
+        &mut self,
+        node: usize,
+        is_i: bool,
+        a: &Access,
+    ) -> (MdRef, RegionAddr, bool, u32) {
+        self.energy.record(EnergyEvent::Tlb, 1);
+        self.energy.record(EnergyEvent::L1TagWay, 1);
+        let (paddr, tlb_hit) = self.nodes[node].tlb2.access(a.asid, a.vaddr);
+        let mut lat = 0;
+        if !tlb_hit {
+            lat += self.cfg.lat.tlb_walk;
+        }
+        let region = paddr.region();
+        self.ctr.md2_accesses += 1;
+        self.energy.record(EnergyEvent::Md2, 1);
+        let md2 = &mut self.nodes[node].md2;
+        let set2 = md2.set_index(region.raw());
+        let (md_hit, set2, way2) = if let Some(way2) = md2.way_of(set2, region.raw()) {
+            self.ctr.md2_hits += 1;
+            md2.touch(set2, way2);
+            (true, set2, way2)
+        } else {
+            let (private, li, dlat) = self.md3_transaction(node, region);
+            lat += dlat + self.cfg.lat.md2;
+            let (s, w) = self.install_md2(node, region, private, li, is_i);
+            (false, s, w)
+        };
+        // MD1 is never used in this mode, so the MD2 entry is always
+        // authoritative.
+        let e2 = self.nodes[node]
+            .md2
+            .at(set2, way2)
+            .map(|(_, e)| *e)
+            .expect("occupied");
+        debug_assert!(e2.tp.is_none(), "traditional mode never activates MD1");
+        // Side switch: force the region's L1 lines out of the other array
+        // (same rule as activate_md1).
+        if e2.is_icache != is_i {
+            let old_kind = if e2.is_icache {
+                ArrKind::L1I
+            } else {
+                ArrKind::L1D
+            };
+            for off in 0..LINES_PER_REGION {
+                let li = self.nodes[node]
+                    .md2
+                    .at(set2, way2)
+                    .map(|(_, e)| e.li[off])
+                    .expect("occupied");
+                if let Li::L1 { way: lway } = li {
+                    let line = region.line(crate::meta_line_offset(off));
+                    let lset = self.l1_set(line);
+                    self.evict_data_line(node, old_kind, lset, lway as usize, false);
+                }
+            }
+        }
+        let (_, e2m) = self.nodes[node].md2.at_mut(set2, way2).expect("occupied");
+        e2m.is_icache = is_i;
+        (
+            MdRef::Md2 {
+                set: set2,
+                way: way2,
+            },
+            region,
+            md_hit,
+            lat,
+        )
+    }
+
+    /// Moves a region's active LI array into the MD1 (D2D activation),
+    /// deactivating the MD1 victim back into its MD2 entry.
+    fn activate_md1(
+        &mut self,
+        node: usize,
+        is_i: bool,
+        key1: u64,
+        region: RegionAddr,
+        md2_set: usize,
+        md2_way: usize,
+    ) -> MdRef {
+        let e2 = *self.nodes[node]
+            .md2
+            .at(md2_set, md2_way)
+            .map(|(_, e)| e)
+            .expect("occupied");
+        // Fold the active MD1 entry (possibly on the other side) back into
+        // MD2 so the MD2 entry is authoritative while we shuffle.
+        if let Some(tp) = e2.tp {
+            let arr = match tp.side {
+                Md1Side::Instruction => &mut self.nodes[node].md1i,
+                Md1Side::Data => &mut self.nodes[node].md1d,
+            };
+            let (_, e1) = arr
+                .remove(tp.set as usize, tp.way as usize)
+                .expect("TP names a live MD1 entry");
+            let (_, e2m) = self.nodes[node]
+                .md2
+                .at_mut(md2_set, md2_way)
+                .expect("occupied");
+            e2m.li = e1.li;
+            e2m.private = e1.private;
+            e2m.tp = None;
+        }
+        // Side switch (code region accessed as data or vice versa): the
+        // region's L1-resident lines live in the other L1 array, where the
+        // new side could never find them — force them out first.
+        if e2.is_icache != is_i {
+            let old_kind = if e2.is_icache {
+                ArrKind::L1I
+            } else {
+                ArrKind::L1D
+            };
+            for off in 0..LINES_PER_REGION {
+                let li = self.nodes[node]
+                    .md2
+                    .at(md2_set, md2_way)
+                    .map(|(_, e)| e.li[off])
+                    .expect("occupied");
+                if let Li::L1 { way: lway } = li {
+                    let line = region.line(crate::meta_line_offset(off));
+                    let lset = self.l1_set(line);
+                    self.evict_data_line(node, old_kind, lset, lway as usize, false);
+                }
+            }
+        }
+        let (li, private) = self.nodes[node]
+            .md2
+            .at(md2_set, md2_way)
+            .map(|(_, e)| (e.li, e.private))
+            .expect("occupied");
+
+        let md1 = if is_i {
+            &mut self.nodes[node].md1i
+        } else {
+            &mut self.nodes[node].md1d
+        };
+        let set1 = md1.set_index(key1);
+        let way1 = md1.victim_way(set1);
+        if let Some((_, victim)) = md1.remove(set1, way1) {
+            // Deactivate the victim: its LIs flow back to its MD2 entry.
+            let vkey = victim.region.raw();
+            let md2 = &mut self.nodes[node].md2;
+            let vset = md2.set_index(vkey);
+            let vway = md2.way_of(vset, vkey).expect("metadata inclusion");
+            let (_, ve) = md2.at_mut(vset, vway).expect("occupied");
+            ve.li = victim.li;
+            ve.private = victim.private;
+            ve.tp = None;
+        }
+        let md1 = if is_i {
+            &mut self.nodes[node].md1i
+        } else {
+            &mut self.nodes[node].md1d
+        };
+        md1.insert_at(
+            set1,
+            way1,
+            key1,
+            Md1Entry {
+                region,
+                private,
+                li,
+            },
+        );
+        let (_, e2) = self.nodes[node]
+            .md2
+            .at_mut(md2_set, md2_way)
+            .expect("occupied");
+        e2.tp = Some(TrackingPtr {
+            side: if is_i {
+                Md1Side::Instruction
+            } else {
+                Md1Side::Data
+            },
+            set: set1 as u16,
+            way: way1 as u8,
+        });
+        e2.is_icache = is_i;
+        MdRef::Md1 {
+            is_i,
+            set: set1,
+            way: way1,
+        }
+    }
+
+    /// Case D: the blocking ReadMM transaction at MD3 (paper appendix D1–D4).
+    /// Returns `(private, li_array, latency)`.
+    fn md3_transaction(
+        &mut self,
+        node: usize,
+        region: RegionAddr,
+    ) -> (bool, [Li; LINES_PER_REGION], u32) {
+        let me = Endpoint::Node(NodeId::new(node as u8));
+        let mut lat = self.noc.send(MsgClass::ReadMM, me, Endpoint::FarSide);
+        lat += self.cfg.lat.md3;
+        self.ctr.md3_accesses += 1;
+        self.ev.d_md_miss += 1;
+        self.energy.record(EnergyEvent::Md3, 1);
+        self.lockbits.acquire(region);
+
+        let set3 = self.md3.set_index(region.raw());
+        let (private, li) = if let Some(way3) = self.md3.way_of(set3, region.raw()) {
+            let entry = *self.md3.at(set3, way3).map(|(_, e)| e).expect("occupied");
+            self.md3.touch(set3, way3);
+            match entry.class() {
+                RegionClass::Untracked => {
+                    // D1: untracked → private. MD3's LIs move to the new
+                    // owner; MD3 stops tracking locations.
+                    self.ev.d1_untracked_to_private += 1;
+                    let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
+                    e3.pb = 1 << node;
+                    let li = entry.li;
+                    let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
+                    e3.li = [Li::Invalid; LINES_PER_REGION];
+                    (true, li)
+                }
+                RegionClass::Private if entry.li.iter().any(|l| l.is_valid()) => {
+                    // One PB bit but valid MD3 LIs: the region lost its
+                    // other sharers (pruning/spills) without ever being
+                    // privately owned — MD3 is authoritative, so this is a
+                    // plain shared join. Clobbering MD3's LIs with the
+                    // remaining tracker's view would orphan LLC masters it
+                    // never learned about.
+                    self.ev.d3_shared_to_shared += 1;
+                    let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
+                    e3.pb |= 1 << node;
+                    (false, entry.li)
+                }
+                RegionClass::Private => {
+                    // D2: private → shared. GetMD to the single owner.
+                    self.ev.d2_private_to_shared += 1;
+                    let owner = entry.pb_nodes().next().expect("one PB bit").index();
+                    debug_assert_ne!(owner, node, "requester cannot hold the PB bit");
+                    lat += self.noc.send(
+                        MsgClass::GetMd,
+                        Endpoint::FarSide,
+                        Endpoint::Node(NodeId::new(owner as u8)),
+                    );
+                    self.ctr.md2_accesses += 1;
+                    self.energy.record(EnergyEvent::Md2, 1);
+                    let converted = self.convert_owner_lis(owner, region);
+                    lat += self.noc.send(
+                        MsgClass::MdReply,
+                        Endpoint::Node(NodeId::new(owner as u8)),
+                        Endpoint::FarSide,
+                    );
+                    self.clear_private(owner, region);
+                    let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
+                    e3.li = converted;
+                    e3.pb |= 1 << node;
+                    (false, converted)
+                }
+                RegionClass::Shared => {
+                    // D3: shared → shared.
+                    self.ev.d3_shared_to_shared += 1;
+                    let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
+                    e3.pb |= 1 << node;
+                    (false, entry.li)
+                }
+                RegionClass::Uncached => unreachable!("resident entry"),
+            }
+        } else {
+            // D4: uncached → private. Allocate an MD3 entry.
+            self.ev.d4_uncached_to_private += 1;
+            let way3 = self.md3.victim_way_with_cost(set3, |_, e: &Md3Entry| {
+                u64::from(e.pb.count_ones()) * 64 + e.llc_resident_lines()
+            });
+            if self.md3.at(set3, way3).is_some() {
+                self.evict_md3_entry(set3, way3);
+            }
+            self.md3.insert_at(
+                set3,
+                way3,
+                region.raw(),
+                Md3Entry {
+                    pb: 1 << node,
+                    li: [Li::Invalid; LINES_PER_REGION],
+                },
+            );
+            (true, [Li::Mem; LINES_PER_REGION])
+        };
+        lat += self.noc.send(MsgClass::MdReply, Endpoint::FarSide, me);
+        self.noc.send(MsgClass::Done, me, Endpoint::FarSide);
+        (private, li, lat)
+    }
+
+    /// D2 helper: the previous private owner converts its active LIs into
+    /// globally-meaningful master locations. Lines whose master it holds
+    /// become `Node(owner)`; its replicas contribute their RP (the true
+    /// master location) so determinism survives later silent replica drops.
+    #[allow(clippy::needless_range_loop)]
+    fn convert_owner_lis(&mut self, owner: usize, region: RegionAddr) -> [Li; LINES_PER_REGION] {
+        let md = self
+            .find_active_md(owner, region)
+            .expect("PB bit implies an MD2 entry");
+        let mut out = [Li::Invalid; LINES_PER_REGION];
+        for off in 0..LINES_PER_REGION {
+            let li = self.li_get(owner, md, off);
+            let line = region.line(crate::meta_line_offset(off));
+            out[off] = match li {
+                Li::L1 { way } => {
+                    let set = self.l1_set(line);
+                    let is_i = self.region_is_icache(owner, region);
+                    let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
+                    match self.arr(owner, kind).at(set, way as usize) {
+                        Some((k, dl)) if k == line.raw() => {
+                            if dl.master {
+                                Li::Node(NodeId::new(owner as u8))
+                            } else {
+                                // Replica: follow its RP chain (which may
+                                // pass through the owner's local slice
+                                // replica) to the true master.
+                                match dl.rp {
+                                    Li::L1 { .. } | Li::L2 { .. } => {
+                                        Li::Node(NodeId::new(owner as u8))
+                                    }
+                                    global => self.resolve_replica_chain(line, global),
+                                }
+                            }
+                        }
+                        _ => {
+                            self.ctr.determinism_errors += 1;
+                            debug_assert!(false, "owner LI pointed at a wrong slot");
+                            Li::Mem
+                        }
+                    }
+                }
+                Li::L2 { way } if self.feats.private_l2 => {
+                    let set = self.l2_set(line);
+                    match self.arr(owner, ArrKind::L2).at(set, way as usize) {
+                        Some((k, dl)) if k == line.raw() => {
+                            if dl.master {
+                                Li::Node(NodeId::new(owner as u8))
+                            } else {
+                                match dl.rp {
+                                    Li::L1 { .. } | Li::L2 { .. } => {
+                                        Li::Node(NodeId::new(owner as u8))
+                                    }
+                                    global => self.resolve_replica_chain(line, global),
+                                }
+                            }
+                        }
+                        _ => {
+                            self.ctr.determinism_errors += 1;
+                            debug_assert!(false, "owner LI pointed at a wrong L2 slot");
+                            Li::Mem
+                        }
+                    }
+                }
+                Li::L2 { .. } => Li::Node(NodeId::new(owner as u8)),
+                // A direct pointer into an LLC slot may name the owner's
+                // local replica; resolve it to the true master.
+                other => self.resolve_replica_chain(line, other),
+            };
+        }
+        out
+    }
+
+    /// Follows a chain of LLC replica slots to the true master location
+    /// (a master slot, `Mem`, or a remote node).
+    fn resolve_replica_chain(&self, line: LineAddr, start: Li) -> Li {
+        let mut cur = start;
+        for _ in 0..4 {
+            match cur {
+                Li::LlcFs { .. } | Li::LlcNs { .. } => {
+                    let (slice, way) = self.llc_slice_way(cur);
+                    let set = self.llc_set(line, slice);
+                    match self.llc[slice].at(set, way) {
+                        Some((k, dl)) if k == line.raw() && !dl.master && !dl.stale => {
+                            cur = dl.rp;
+                        }
+                        _ => return cur,
+                    }
+                }
+                _ => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Whether `region` is currently an instruction-side region at `node`.
+    fn region_is_icache(&self, node: usize, region: RegionAddr) -> bool {
+        let md2 = &self.nodes[node].md2;
+        let set = md2.set_index(region.raw());
+        md2.way_of(set, region.raw())
+            .and_then(|w| md2.at(set, w))
+            .map(|(_, e)| e.is_icache)
+            .unwrap_or(false)
+    }
+
+    /// Installs freshly-fetched region metadata into MD2, evicting (and
+    /// purging, per metadata inclusion) a victim region if needed.
+    fn install_md2(
+        &mut self,
+        node: usize,
+        region: RegionAddr,
+        private: bool,
+        li: [Li; LINES_PER_REGION],
+        is_i: bool,
+    ) -> (usize, usize) {
+        let md2 = &self.nodes[node].md2;
+        let set = md2.set_index(region.raw());
+        // Region-aware replacement: prefer inactive regions with few
+        // node-resident lines (paper §II-A).
+        let way = md2.victim_way_with_cost(set, |_, e: &Md2Entry| {
+            e.node_resident_lines() + if e.tp.is_some() { 64 } else { 0 }
+        });
+        if self.nodes[node].md2.at(set, way).is_some() {
+            self.evict_md2_entry(node, set, way, true);
+        }
+        self.nodes[node].md2.insert_at(
+            set,
+            way,
+            region.raw(),
+            Md2Entry {
+                private,
+                li,
+                tp: None,
+                is_icache: is_i,
+                fills: 0,
+                reuse: 0,
+            },
+        );
+        (set, way)
+    }
+
+    // ================= data serves =================
+
+    /// Case A read path: fetch the line named by `li` and produce the L1
+    /// replica to install. Returns `(latency, serviced_by, data_line)`.
+    fn read_miss(
+        &mut self,
+        node: usize,
+        is_i: bool,
+        line: LineAddr,
+        _off: usize,
+        li: Li,
+    ) -> (u32, ServicedBy, DataLine) {
+        match li {
+            Li::L2 { way } if self.feats.private_l2 => {
+                self.serve_l2_local(node, line, way as usize)
+            }
+            Li::L1 { .. } | Li::L2 { .. } => {
+                // L1 handled by the caller; an L2 LI is only valid when the
+                // optional private L2 is configured.
+                self.ctr.determinism_errors += 1;
+                debug_assert!(false, "unexpected node-local LI on the miss path");
+                self.serve_memory(node, line, is_i)
+            }
+            Li::LlcFs { .. } | Li::LlcNs { .. } => self.serve_llc(node, is_i, line, li),
+            Li::Mem | Li::Invalid => self.serve_memory(node, line, is_i),
+            Li::Node(m) => self.serve_remote_node(node, line, m),
+        }
+    }
+
+    /// Serves a read from an LLC slot (far-side bank or NS slice), applying
+    /// the §IV-C replication heuristic when enabled.
+    fn serve_llc(
+        &mut self,
+        node: usize,
+        is_i: bool,
+        line: LineAddr,
+        li: Li,
+    ) -> (u32, ServicedBy, DataLine) {
+        let (slice, way) = self.llc_slice_way(li);
+        let set = self.llc_set(line, slice);
+        let slot = match self.llc[slice].at(set, way) {
+            Some((k, dl)) if k == line.raw() && dl.serveable() => *dl,
+            _ => {
+                self.ctr.determinism_errors += 1;
+                debug_assert!(false, "LI pointed at a wrong/stale LLC slot");
+                return self.serve_memory(node, line, is_i);
+            }
+        };
+        let was_mru = self.llc[slice].is_mru(set, way);
+        self.llc[slice].touch(set, way);
+        self.note_region_reuse(node, line.region());
+
+        let me = Endpoint::Node(NodeId::new(node as u8));
+        let endpoint = self.llc_endpoint(slice);
+        let mut lat;
+        let serviced;
+        if endpoint == me {
+            lat = self.cfg.lat.ns_slice;
+            serviced = ServicedBy::LocalNs;
+            self.energy.record(EnergyEvent::NsSliceArray, 1);
+            if is_i {
+                self.ctr.ns_local_i += 1;
+            } else {
+                self.ctr.ns_local_d += 1;
+            }
+        } else {
+            lat = self.noc.send(MsgClass::ReadReq, me, endpoint);
+            lat += self.noc.send(MsgClass::DataReply, endpoint, me);
+            match endpoint {
+                Endpoint::FarSide => {
+                    lat += self.cfg.lat.llc;
+                    serviced = ServicedBy::Llc;
+                    self.energy.record(EnergyEvent::LlcArray, 1);
+                    self.ctr.llc_fs_hits += 1;
+                }
+                Endpoint::Node(_) => {
+                    lat += self.cfg.lat.ns_slice;
+                    serviced = ServicedBy::RemoteNs;
+                    self.energy.record(EnergyEvent::NsSliceArray, 1);
+                    if is_i {
+                        self.ctr.ns_remote_i += 1;
+                    } else {
+                        self.ctr.ns_remote_d += 1;
+                    }
+                }
+            }
+        }
+
+        // §IV-C replication: instructions always; data read from the MRU
+        // position of a remote slice.
+        let mut rp = li;
+        if self.feats.replication && slice != node && (is_i || was_mru) {
+            rp = self.replicate_local(node, line, slot.version, li);
+        }
+        (lat, serviced, DataLine::replica(slot.version, 0, rp))
+    }
+
+    /// Serves a read from the node's own private L2 (optional level): the
+    /// line moves up to L1. A master leaves its L2 slot behind as its victim
+    /// location (paper §II-B: "L1 cachelines may have victim locations
+    /// allocated for them in L2"); a replica's slot is freed.
+    fn serve_l2_local(
+        &mut self,
+        node: usize,
+        line: LineAddr,
+        way: usize,
+    ) -> (u32, ServicedBy, DataLine) {
+        let set = self.l2_set(line);
+        let slot = match self.arr(node, ArrKind::L2).at(set, way) {
+            Some((k, dl)) if k == line.raw() && dl.serveable() => *dl,
+            _ => {
+                self.ctr.determinism_errors += 1;
+                debug_assert!(false, "LI pointed at a wrong/stale L2 slot");
+                return self.serve_memory(node, line, false);
+            }
+        };
+        self.energy.record(EnergyEvent::L2Array, 1);
+        let lat = self.cfg.lat.l2;
+        let dl = if slot.master {
+            // Keep the slot as the (stale) victim location for the new L1
+            // master.
+            let arr = self.arr_mut(node, ArrKind::L2);
+            let (_, v) = arr.at_mut(set, way).expect("occupied");
+            v.master = false;
+            v.stale = true;
+            let mut dl = DataLine::master(slot.version, 0, slot.dirty, Li::L2 { way: way as u8 });
+            dl.excl = slot.excl;
+            dl.dirty = slot.dirty;
+            dl
+        } else {
+            self.arr_mut(node, ArrKind::L2).remove(set, way);
+            DataLine::replica(slot.version, 0, slot.rp)
+        };
+        (lat, ServicedBy::L2, dl)
+    }
+
+    /// Serves a read from memory. The request travels to the far side where
+    /// MD3 is co-located: if MD3 already tracks an LLC master for the line
+    /// (another sharer allocated it), the read is redirected there instead of
+    /// creating a second master. Otherwise the fill allocates an LLC victim
+    /// slot as the new master (placement per the §IV-B policy) and MD3's LI
+    /// is updated in the same far-side transaction.
+    fn serve_memory(
+        &mut self,
+        node: usize,
+        line: LineAddr,
+        is_i: bool,
+    ) -> (u32, ServicedBy, DataLine) {
+        let me = Endpoint::Node(NodeId::new(node as u8));
+        let region = line.region();
+        let off = usize::from(line.region_offset());
+        let mut lat = self.noc.send(MsgClass::ReadReq, me, Endpoint::FarSide);
+
+        // Far-side MD3 peek (no separate transaction; same trip).
+        let set3 = self.md3.set_index(region.raw());
+        if let Some(way3) = self.md3.way_of(set3, region.raw()) {
+            let tracked = self
+                .md3
+                .at(set3, way3)
+                .map(|(_, e)| e.li[off])
+                .expect("occupied");
+            if tracked.is_llc() {
+                // Redirect to the existing LLC master.
+                let (slice, way) = self.llc_slice_way(tracked);
+                let set = self.llc_set(line, slice);
+                if let Some((k, dl)) = self.llc[slice].at(set, way) {
+                    if k == line.raw() && dl.serveable() {
+                        let version = dl.version;
+                        self.llc[slice].touch(set, way);
+                        let endpoint = self.llc_endpoint(slice);
+                        if endpoint != Endpoint::FarSide {
+                            lat += self.noc.send(MsgClass::Fwd, Endpoint::FarSide, endpoint);
+                        }
+                        lat += self.noc.send(MsgClass::DataReply, endpoint, me);
+                        lat += if endpoint == Endpoint::FarSide {
+                            self.cfg.lat.llc
+                        } else {
+                            self.cfg.lat.ns_slice
+                        };
+                        let serviced = if endpoint == me {
+                            ServicedBy::LocalNs
+                        } else if endpoint == Endpoint::FarSide {
+                            ServicedBy::Llc
+                        } else {
+                            ServicedBy::RemoteNs
+                        };
+                        return (lat, serviced, DataLine::replica(version, 0, tracked));
+                    }
+                }
+            }
+        }
+
+        // Genuine memory fill.
+        self.noc.offchip(MsgClass::MemRead);
+        lat += self.cfg.lat.mem;
+        let version = self.oracle.memory(line);
+        self.ctr.mem_fills += 1;
+        if self.feats.bypass && self.note_region_fill(node, region) {
+            // Bypass (paper §I optimization list): a streaming region skips
+            // LLC allocation entirely — the L1 copy's master stays memory,
+            // and inclusion still holds for everything else.
+            self.ctr.bypassed_fills += 1;
+            lat += self.noc.send(MsgClass::DataReply, Endpoint::FarSide, me);
+            return (lat, ServicedBy::Mem, DataLine::replica(version, 0, Li::Mem));
+        }
+        let slot_li = self.alloc_llc_master(node, line, version);
+        // Record the new master in MD3 unless the region is private there
+        // (Invalid LIs: the owner's MD2 is authoritative and gets the slot
+        // via the L1 replica's RP).
+        if let Some(way3) = self.md3.way_of(set3, region.raw()) {
+            let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
+            if e3.li[off].is_valid() {
+                e3.li[off] = slot_li;
+            }
+        }
+        // Data to the requester (and implicitly to the slice on the same
+        // path when the slice is the requester's own).
+        let (slice, _) = self.llc_slice_way(slot_li);
+        let slice_ep = self.llc_endpoint(slice);
+        if slice_ep != me && slice_ep != Endpoint::FarSide {
+            self.noc
+                .send(MsgClass::DataReply, Endpoint::FarSide, slice_ep);
+        }
+        lat += self.noc.send(MsgClass::DataReply, Endpoint::FarSide, me);
+        let _ = is_i;
+        (lat, ServicedBy::Mem, DataLine::replica(version, 0, slot_li))
+    }
+
+    /// Case A with a remote master node: the request goes directly to the
+    /// master node (no directory), which resolves its own MD to find and
+    /// serve the line.
+    fn serve_remote_node(
+        &mut self,
+        node: usize,
+        line: LineAddr,
+        m: NodeId,
+    ) -> (u32, ServicedBy, DataLine) {
+        let me = Endpoint::Node(NodeId::new(node as u8));
+        let remote = Endpoint::Node(m);
+        let mut lat = self.noc.send(MsgClass::ReadReq, me, remote);
+        // The master node resolves through its MD2 (and MD1 if active).
+        self.ctr.md2_accesses += 1;
+        self.energy.record(EnergyEvent::Md2, 1);
+        lat += self.cfg.lat.md2 + self.cfg.lat.l1;
+        match self.node_slot_of(m.index(), line) {
+            Some((kind, set, way)) => {
+                self.energy.record(EnergyEvent::L1Array, 1);
+                let arr = self.arr_mut(m.index(), kind);
+                let (_, dl) = arr.at_mut(set, way).expect("occupied");
+                debug_assert!(dl.master, "MD3/LIs said node {m} holds the master");
+                dl.excl = false; // a replica now exists elsewhere
+                let version = dl.version;
+                lat += self.noc.send(MsgClass::DataReply, remote, me);
+                self.ctr.remote_node_reads += 1;
+                (
+                    lat,
+                    ServicedBy::RemoteNode,
+                    DataLine::replica(version, 0, Li::Node(m)),
+                )
+            }
+            None => {
+                self.ctr.determinism_errors += 1;
+                debug_assert!(false, "remote master node does not hold the line");
+                let (l2, s, dl) = self.serve_memory(node, line, false);
+                (lat + l2, s, dl)
+            }
+        }
+    }
+
+    // ================= writes =================
+
+    /// Store to a line already in L1. Returns added latency.
+    #[allow(clippy::too_many_arguments)]
+    fn write_hit(
+        &mut self,
+        node: usize,
+        line: LineAddr,
+        off: usize,
+        _md: MdRef,
+        private: bool,
+        set: usize,
+        way: usize,
+    ) -> u32 {
+        let slot = *self
+            .arr(node, ArrKind::L1D)
+            .at(set, way)
+            .map(|(_, dl)| dl)
+            .expect("checked by caller");
+        let mut lat = 0;
+        let mut rp = slot.rp;
+        if slot.master {
+            if !slot.excl && !private {
+                // Master without exclusivity (replicas exist): shared-region
+                // invalidation round (case C without a data fetch).
+                self.ev.c_write_shared += 1;
+                let (l, _victim, _v, _s) = self.case_c_invalidate(node, line, off, false);
+                lat += l;
+            }
+        } else if private {
+            // Case B at hit granularity: silent upgrade (paper §IV-A).
+            self.ev.silent_upgrades += 1;
+            rp = self.collapse_chain(node, slot.rp, line);
+        } else {
+            // Shared-region upgrade: full case C (data already local).
+            self.ev.c_write_shared += 1;
+            let (l, victim, _v, _s) = self.case_c_invalidate(node, line, off, false);
+            lat += l;
+            // Our own slice replica (if the chain had one) would otherwise
+            // survive with stale data.
+            self.purge_local_slice_replica(node, line);
+            // Only a victim location produced by the case-C round is usable
+            // as the new master's RP. The replica's own RP is *not* one — it
+            // names the master (or the local replication chain, which the
+            // purge below removes) — so default to memory when the round
+            // yielded none.
+            rp = match victim {
+                Some(v) if !matches!(v, Li::Node(_)) => v,
+                _ => Li::Mem,
+            };
+            if self.feats.private_l2 {
+                rp = self.alloc_l2_victim_slot(node, line, rp);
+            } else if rp == Li::Mem {
+                rp = self.alloc_llc_victim_slot(node, line);
+            }
+        }
+        let version = self.oracle.on_store(line);
+        let arr = self.arr_mut(node, ArrKind::L1D);
+        let (_, dl) = arr.at_mut(set, way).expect("occupied");
+        dl.master = true;
+        dl.excl = true;
+        dl.dirty = true;
+        dl.version = version;
+        dl.rp = rp;
+        lat
+    }
+
+    /// Store miss: acquire the line with write permission (cases B and C).
+    fn write_miss(
+        &mut self,
+        node: usize,
+        line: LineAddr,
+        off: usize,
+        _md: MdRef,
+        private: bool,
+        li: Li,
+    ) -> (u32, ServicedBy, DataLine) {
+        if private {
+            // Case B: direct read from the master, silent promotion.
+            let (lat, serviced, fetched) = self.read_miss(node, false, line, off, li);
+            if self.cfg.check_coherence {
+                if let Err(e) = self.oracle.check_load(line, fetched.version) {
+                    self.ctr.coherence_errors += 1;
+                    debug_assert!(false, "stale RFO data: {e}");
+                }
+            }
+            if fetched.master {
+                // Already promoted to a master (e.g. out of the local L2):
+                // its victim location is set; just mint the store version.
+                let version = self.oracle.on_store(line);
+                let mut dl = fetched;
+                dl.excl = true;
+                dl.dirty = true;
+                dl.version = version;
+                return (lat, serviced, dl);
+            }
+            let downstream = self.collapse_chain(node, fetched.rp, line);
+            let victim = if self.feats.private_l2 {
+                self.alloc_l2_victim_slot(node, line, downstream)
+            } else if downstream == Li::Mem {
+                self.alloc_llc_victim_slot(node, line)
+            } else {
+                downstream
+            };
+            let version = self.oracle.on_store(line);
+            (lat, serviced, DataLine::master(version, 0, true, victim))
+        } else {
+            // Case C: blocking MD3 round with invalidations.
+            let (lat, victim, fetched_version, serviced) =
+                self.case_c_invalidate(node, line, off, true);
+            self.purge_local_slice_replica(node, line);
+            if self.cfg.check_coherence {
+                if let Err(e) = self.oracle.check_load(line, fetched_version) {
+                    self.ctr.coherence_errors += 1;
+                    debug_assert!(false, "stale case-C data: {e}");
+                }
+            }
+            let victim = match (victim, self.feats.private_l2) {
+                (v, true) => {
+                    let downstream = v.unwrap_or(Li::Mem);
+                    self.alloc_l2_victim_slot(node, line, downstream)
+                }
+                (Some(v), false) if v != Li::Mem => v,
+                _ => self.alloc_llc_victim_slot(node, line),
+            };
+            let version = self.oracle.on_store(line);
+            (lat, serviced, DataLine::master(version, 0, true, victim))
+        }
+    }
+
+    /// Case C: the blocking write round for shared regions. Demotes the old
+    /// master (named by MD3's LI), invalidates every PB node's copies,
+    /// repoints their LIs to the writer, and updates MD3. Returns
+    /// `(latency, victim_location, data_version, serviced_by)`.
+    fn case_c_invalidate(
+        &mut self,
+        node: usize,
+        line: LineAddr,
+        off: usize,
+        fetch_data: bool,
+    ) -> (u32, Option<Li>, u64, ServicedBy) {
+        let me = Endpoint::Node(NodeId::new(node as u8));
+        let region = line.region();
+        let mut lat = self.noc.send(MsgClass::ReadEx, me, Endpoint::FarSide);
+        lat += self.cfg.lat.md3;
+        self.ctr.md3_accesses += 1;
+        self.energy.record(EnergyEvent::Md3, 1);
+        self.lockbits.acquire(region);
+
+        let set3 = self.md3.set_index(region.raw());
+        let way3 = self
+            .md3
+            .way_of(set3, region.raw())
+            .expect("metadata inclusion: writer's MD2 entry implies an MD3 entry");
+        let entry = *self.md3.at(set3, way3).map(|(_, e)| e).expect("occupied");
+
+        // --- demote the old master & fetch the data ---
+        let old = entry.li[off];
+        let mut victim = None;
+        let mut version = 0;
+        let mut serviced = ServicedBy::Llc;
+        let mut master_node: Option<usize> = None;
+        match old {
+            Li::LlcFs { .. } | Li::LlcNs { .. } => {
+                let (slice, way) = self.llc_slice_way(old);
+                let set = self.llc_set(line, slice);
+                match self.llc[slice].at_mut(set, way) {
+                    Some((k, dl)) if k == line.raw() => {
+                        version = dl.version;
+                        dl.master = false;
+                        dl.stale = true;
+                        victim = Some(old);
+                        let ep = self.llc_endpoint(slice);
+                        if fetch_data {
+                            if ep != Endpoint::FarSide {
+                                lat += self.noc.send(MsgClass::Fwd, Endpoint::FarSide, ep);
+                            }
+                            lat += self.noc.send(MsgClass::DataReply, ep, me);
+                            serviced = if ep == me {
+                                ServicedBy::LocalNs
+                            } else if ep == Endpoint::FarSide {
+                                ServicedBy::Llc
+                            } else {
+                                ServicedBy::RemoteNs
+                            };
+                        }
+                    }
+                    _ => {
+                        self.ctr.determinism_errors += 1;
+                        debug_assert!(false, "MD3 LI pointed at a wrong LLC slot");
+                    }
+                }
+            }
+            Li::Mem | Li::Invalid => {
+                version = self.oracle.memory(line);
+                if fetch_data {
+                    self.noc.offchip(MsgClass::MemRead);
+                    lat += self.cfg.lat.mem;
+                    lat += self.noc.send(MsgClass::DataReply, Endpoint::FarSide, me);
+                    serviced = ServicedBy::Mem;
+                }
+            }
+            Li::Node(m) if m.index() == node => {
+                // The writer already holds the master (an O→M upgrade).
+                if let Some((kind, s, w)) = self.node_slot_of(node, line) {
+                    let arr = self.arr(node, kind);
+                    version = arr.at(s, w).map(|(_, dl)| dl.version).expect("occupied");
+                }
+                serviced = ServicedBy::L1;
+            }
+            Li::Node(m) => {
+                master_node = Some(m.index());
+                let remote = Endpoint::Node(m);
+                lat += self
+                    .noc
+                    .send(MsgClass::ReadExReq, Endpoint::FarSide, remote);
+                self.ctr.md2_accesses += 1;
+                self.energy.record(EnergyEvent::Md2, 1);
+                lat += self.cfg.lat.md2 + self.cfg.lat.l1;
+                if let Some((kind, s, w)) = self.node_slot_of(m.index(), line) {
+                    let arr = self.arr(m.index(), kind);
+                    let dl = *arr.at(s, w).map(|(_, dl)| dl).expect("occupied");
+                    version = dl.version;
+                    // Inherit the old master's victim slot if it has one.
+                    if dl.rp.is_llc() {
+                        victim = Some(dl.rp);
+                    }
+                } else {
+                    self.ctr.determinism_errors += 1;
+                    debug_assert!(false, "old master node lacks the line");
+                    version = self.oracle.memory(line);
+                }
+                self.purge_node_line(m.index(), line);
+                if let Some(mdm) = self.find_active_md(m.index(), region) {
+                    self.li_set(m.index(), mdm, off, Li::Node(NodeId::new(node as u8)));
+                }
+                if fetch_data {
+                    lat += self.noc.send(MsgClass::DataReply, remote, me);
+                    serviced = ServicedBy::RemoteNode;
+                }
+            }
+            Li::L1 { .. } | Li::L2 { .. } => unreachable!("MD3 LIs are global"),
+        }
+
+        // --- invalidate the PB nodes (region-grain multicast) ---
+        let mut prune_candidates = Vec::new();
+        let mut inv_lat = 0;
+        for t in entry.pb_nodes().map(|n| n.index()) {
+            if t == node || Some(t) == master_node {
+                continue;
+            }
+            inv_lat = inv_lat.max(self.noc.send(
+                MsgClass::Inv,
+                Endpoint::FarSide,
+                Endpoint::Node(NodeId::new(t as u8)),
+            ));
+            self.ctr.invalidations_received += 1;
+            self.ctr.md2_accesses += 1;
+            self.energy.record(EnergyEvent::Md2, 1);
+            let had = self.purge_node_line(t, line);
+            if !had {
+                self.ctr.false_invalidations += 1;
+            }
+            if let Some(mdt) = self.find_active_md(t, region) {
+                self.li_set(t, mdt, off, Li::Node(NodeId::new(node as u8)));
+            }
+            inv_lat = inv_lat.max(self.noc.send(
+                MsgClass::Ack,
+                Endpoint::Node(NodeId::new(t as u8)),
+                me,
+            ));
+            prune_candidates.push(t);
+        }
+        lat += inv_lat;
+
+        let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
+        e3.li[off] = Li::Node(NodeId::new(node as u8));
+        self.noc.send(MsgClass::Done, me, Endpoint::FarSide);
+
+        // MD2 pruning heuristic (paper §IV-A): nodes that received an
+        // invalidation for a region they no longer use drop their MD2 entry.
+        for t in prune_candidates {
+            self.md2_prune_check(t, region);
+        }
+        (lat, victim, version, serviced)
+    }
+
+    /// Removes every copy of `line` at node `t` (L1 arrays and, for NS
+    /// systems, replicas in `t`'s local slice). Returns whether any copy
+    /// existed (false-invalidation accounting).
+    fn purge_node_line(&mut self, t: usize, line: LineAddr) -> bool {
+        let mut had = false;
+        if let Some((kind, set, way)) = self.node_slot_of(t, line) {
+            self.arr_mut(t, kind).remove(set, way);
+            had = true;
+        }
+        if self.feats.near_side {
+            let set = self.llc_set(line, t);
+            if let Some(way) = self.llc[t].way_of(set, line.raw()) {
+                // Stale victim slots stay: a master's RP may target them.
+                let is_replica = self.llc[t]
+                    .at(set, way)
+                    .map(|(_, dl)| !dl.master && !dl.stale)
+                    .unwrap_or(false);
+                if is_replica {
+                    self.llc[t].remove(set, way);
+                    had = true;
+                }
+            }
+        }
+        had
+    }
+
+    /// Drops the node's own slice replica of `line` (if any) so a write
+    /// upgrade cannot leave an orphaned stale-but-serveable copy behind.
+    fn purge_local_slice_replica(&mut self, node: usize, line: LineAddr) {
+        if !self.feats.near_side {
+            return;
+        }
+        let set = self.llc_set(line, node);
+        if let Some(way) = self.llc[node].way_of(set, line.raw()) {
+            let is_replica = self.llc[node]
+                .at(set, way)
+                .map(|(_, dl)| !dl.master && !dl.stale)
+                .unwrap_or(false);
+            if is_replica {
+                self.llc[node].remove(set, way);
+            }
+        }
+    }
+
+    /// §IV-A pruning: drop `t`'s MD2 entry for `region` if it tracks nothing
+    /// locally and is not MD1-active.
+    fn md2_prune_check(&mut self, t: usize, region: RegionAddr) {
+        if !self.cfg.md2_pruning {
+            return;
+        }
+        let md2 = &self.nodes[t].md2;
+        let set = md2.set_index(region.raw());
+        let Some(way) = md2.way_of(set, region.raw()) else {
+            return;
+        };
+        let e = md2.at(set, way).map(|(_, e)| *e).expect("occupied");
+        if e.tp.is_none() && e.node_resident_lines() == 0 {
+            self.evict_md2_entry(t, set, way, true);
+            self.ctr.md2_prunes += 1;
+        }
+    }
+
+    /// Collapses a replica RP chain for a silent write upgrade: local
+    /// replica slots along the chain are dropped, the final master slot is
+    /// demoted to a stale victim, and its location is returned as the new
+    /// master's RP (or `Mem`).
+    fn collapse_chain(&mut self, _node: usize, start: Li, line: LineAddr) -> Li {
+        let mut cur = start;
+        for _ in 0..4 {
+            match cur {
+                Li::LlcFs { .. } | Li::LlcNs { .. } => {
+                    let (slice, way) = self.llc_slice_way(cur);
+                    let set = self.llc_set(line, slice);
+                    match self.llc[slice].at(set, way) {
+                        Some((k, dl)) if k == line.raw() => {
+                            if dl.master {
+                                let (_, dl) = self.llc[slice].at_mut(set, way).expect("occupied");
+                                dl.master = false;
+                                dl.stale = true;
+                                return cur;
+                            }
+                            if dl.stale {
+                                // Already a victim slot reserved for us.
+                                return cur;
+                            }
+                            let next = dl.rp;
+                            self.llc[slice].remove(set, way);
+                            cur = next;
+                        }
+                        _ => {
+                            self.ctr.determinism_errors += 1;
+                            debug_assert!(false, "RP chain pointed at a wrong slot");
+                            return Li::Mem;
+                        }
+                    }
+                }
+                Li::L2 { way } if self.feats.private_l2 => {
+                    let set = self.l2_set(line);
+                    match self.arr(_node, ArrKind::L2).at(set, way as usize) {
+                        Some((k, dl)) if k == line.raw() => {
+                            if dl.master {
+                                let arr = self.arr_mut(_node, ArrKind::L2);
+                                let (_, dl) = arr.at_mut(set, way as usize).expect("occupied");
+                                dl.master = false;
+                                dl.stale = true;
+                                return cur;
+                            }
+                            if dl.stale {
+                                return cur;
+                            }
+                            let next = dl.rp;
+                            self.arr_mut(_node, ArrKind::L2).remove(set, way as usize);
+                            cur = next;
+                        }
+                        _ => {
+                            self.ctr.determinism_errors += 1;
+                            debug_assert!(false, "RP chain pointed at a wrong L2 slot");
+                            return Li::Mem;
+                        }
+                    }
+                }
+                Li::Mem | Li::Invalid => return Li::Mem,
+                Li::Node(_) | Li::L1 { .. } | Li::L2 { .. } => {
+                    // Private regions cannot have remote masters; node-local
+                    // RP chains do not occur without an L2.
+                    debug_assert!(false, "unexpected RP chain element {cur:?}");
+                    return Li::Mem;
+                }
+            }
+        }
+        Li::Mem
+    }
+
+    // ================= placement & replication =================
+
+    /// Allocates an LLC slot as the (clean) master for a memory fill.
+    ///
+    /// If the chosen slice already holds a (stale victim / replica) slot for
+    /// this line, that slot is reused — the same line must never occupy two
+    /// ways of one set.
+    fn alloc_llc_master(&mut self, node: usize, line: LineAddr, version: u64) -> Li {
+        let slice = self.pick_slice(node);
+        let set = self.llc_set(line, slice);
+        let way = match self.llc[slice].way_of(set, line.raw()) {
+            Some(existing) => existing,
+            None => {
+                let way = self.llc[slice].victim_way(set);
+                if self.llc[slice].at(set, way).is_some() {
+                    self.evict_llc_slot(slice, set, way);
+                }
+                way
+            }
+        };
+        self.llc[slice].insert_at(
+            set,
+            way,
+            line.raw(),
+            DataLine {
+                master: true,
+                excl: false,
+                dirty: false,
+                stale: false,
+                version,
+                ready_at: 0,
+                rp: Li::Mem,
+            },
+        );
+        self.li_of_llc(slice, way)
+    }
+
+    /// Allocates a stale LLC victim slot for a new node-held master (so its
+    /// eventual eviction lands in the LLC rather than going to memory).
+    fn alloc_llc_victim_slot(&mut self, node: usize, line: LineAddr) -> Li {
+        let slice = self.pick_slice(node);
+        let set = self.llc_set(line, slice);
+        let way = match self.llc[slice].way_of(set, line.raw()) {
+            Some(existing) => existing,
+            None => {
+                let way = self.llc[slice].victim_way(set);
+                if self.llc[slice].at(set, way).is_some() {
+                    self.evict_llc_slot(slice, set, way);
+                }
+                way
+            }
+        };
+        self.llc[slice].insert_at(
+            set,
+            way,
+            line.raw(),
+            DataLine {
+                master: false,
+                excl: false,
+                dirty: false,
+                stale: true,
+                version: 0,
+                ready_at: 0,
+                rp: Li::Mem,
+            },
+        );
+        self.li_of_llc(slice, way)
+    }
+
+    /// Frees (evicting if needed) an L2 slot for `line` at `node`.
+    fn alloc_l2_slot(&mut self, node: usize, line: LineAddr) -> (usize, usize) {
+        let set = self.l2_set(line);
+        if let Some(existing) = self.arr(node, ArrKind::L2).way_of(set, line.raw()) {
+            self.evict_data_line(node, ArrKind::L2, set, existing, false);
+            return (set, existing);
+        }
+        let way = self.arr(node, ArrKind::L2).victim_way(set);
+        if self.arr(node, ArrKind::L2).at(set, way).is_some() {
+            self.evict_data_line(node, ArrKind::L2, set, way, false);
+        }
+        (set, way)
+    }
+
+    /// Allocates a stale L2 victim slot for a new L1-held master (the local
+    /// analogue of [`Self::alloc_llc_victim_slot`]). `downstream` is where a
+    /// master landing here will itself evict to (the Figure 2 chain:
+    /// L1 → L2 victim slot → LLC victim slot → memory).
+    fn alloc_l2_victim_slot(&mut self, node: usize, line: LineAddr, downstream: Li) -> Li {
+        let (set, way) = self.alloc_l2_slot(node, line);
+        self.nodes[node].l2.as_mut().expect("L2 enabled").insert_at(
+            set,
+            way,
+            line.raw(),
+            DataLine {
+                master: false,
+                excl: false,
+                dirty: false,
+                stale: true,
+                version: 0,
+                ready_at: 0,
+                rp: downstream,
+            },
+        );
+        Li::L2 { way: way as u8 }
+    }
+
+    fn pick_slice(&mut self, node: usize) -> usize {
+        if self.feats.near_side {
+            let s = self.choose_ns_slice(node);
+            if s == node {
+                self.ctr.ns_alloc_local += 1;
+            } else {
+                self.ctr.ns_alloc_remote += 1;
+            }
+            s
+        } else {
+            0
+        }
+    }
+
+    /// §IV-C: replicate a line read from a remote slice into the local
+    /// slice; returns the local replica's location (the L1 copy's new RP).
+    fn replicate_local(&mut self, node: usize, line: LineAddr, version: u64, master_li: Li) -> Li {
+        let set = self.llc_set(line, node);
+        if let Some(way) = self.llc[node].way_of(set, line.raw()) {
+            // Already present locally (replica or master): reuse.
+            return self.li_of_llc(node, way);
+        }
+        let way = self.llc[node].victim_way(set);
+        if self.llc[node].at(set, way).is_some() {
+            self.evict_llc_slot(node, set, way);
+        }
+        self.llc[node].insert_at(
+            set,
+            way,
+            line.raw(),
+            DataLine::replica(version, 0, master_li),
+        );
+        self.ctr.replications += 1;
+        self.energy.record(EnergyEvent::NsSliceArray, 1);
+        self.li_of_llc(node, way)
+    }
+
+    // ================= evictions =================
+
+    /// Installs `dl` for `line` in `node`'s L1, evicting the victim first
+    /// (cases E/F or a silent replica drop). Returns the way used.
+    fn install_l1(&mut self, node: usize, is_i: bool, line: LineAddr, dl: DataLine) -> usize {
+        let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
+        let set = self.l1_set(line);
+        let way = self.arr(node, kind).victim_way(set);
+        if self.arr(node, kind).at(set, way).is_some() {
+            self.evict_data_line(node, kind, set, way, false);
+        }
+        self.arr_mut(node, kind).insert_at(set, way, line.raw(), dl);
+        way
+    }
+
+    /// Evicts one L1 line: silent for replicas (LI := RP), copy-to-victim
+    /// plus LI flip for masters (case E), with the EvictReq/NewMaster round
+    /// for shared regions (case F). `quiet` suppresses all messaging and
+    /// cross-node fixes during global purges.
+    pub(crate) fn evict_data_line(
+        &mut self,
+        node: usize,
+        kind: ArrKind,
+        set: usize,
+        way: usize,
+        quiet: bool,
+    ) {
+        let (key, slot) = match self.arr_mut(node, kind).remove(set, way) {
+            Some(x) => x,
+            None => return,
+        };
+        let line = LineAddr::new(key);
+        let region = line.region();
+        let off = usize::from(line.region_offset());
+        let md = self.find_active_md(node, region);
+
+        if !slot.master {
+            let li_here = match kind {
+                ArrKind::L2 => Li::L2 { way: way as u8 },
+                _ => Li::L1 { way: way as u8 },
+            };
+            if slot.stale {
+                // A reclaimed victim slot: the local master whose RP names
+                // this slot falls back to the slot's own downstream victim.
+                if let Some((hk, hs, hw)) = self.node_slot_of(node, line) {
+                    let arr = self.arr_mut(node, hk);
+                    let (_, holder) = arr.at_mut(hs, hw).expect("occupied");
+                    if holder.rp == li_here {
+                        holder.rp = slot.rp;
+                    }
+                }
+                return;
+            }
+            // With the optional L2, clean L1 victims demote into the L2
+            // (victim caching) instead of being dropped.
+            if self.feats.private_l2 && kind != ArrKind::L2 && !quiet {
+                let (s2, w2) = self.alloc_l2_slot(node, line);
+                self.nodes[node].l2.as_mut().expect("L2 enabled").insert_at(
+                    s2,
+                    w2,
+                    line.raw(),
+                    slot,
+                );
+                if let Some(md) = md {
+                    if self.li_get(node, md, off) == li_here {
+                        self.li_set(node, md, off, Li::L2 { way: w2 as u8 });
+                    }
+                }
+                return;
+            }
+            // Silent replica drop: the LI falls back to the master location.
+            if let Some(md) = md {
+                if self.li_get(node, md, off) == li_here {
+                    self.li_set(node, md, off, slot.rp);
+                }
+            }
+            return;
+        }
+
+        debug_assert!(slot.dirty, "node-held masters are always dirty");
+        let me = Endpoint::Node(NodeId::new(node as u8));
+        let private = md.map(|m| self.md_private(node, m)).unwrap_or(true);
+        // Shared-region evictions (case F) publish the victim location to
+        // other nodes and MD3, so it must be *global*: a node-local L2
+        // victim slot is collapsed to its downstream (LLC slot or memory).
+        let mut rp_target = slot.rp;
+        if !private && self.feats.private_l2 {
+            if let Li::L2 { way: vway } = rp_target {
+                let vset = self.l2_set(line);
+                rp_target = match self.arr(node, ArrKind::L2).at(vset, vway as usize) {
+                    Some((k, vdl)) if k == line.raw() && !vdl.rp.is_node_local() => {
+                        let downstream = vdl.rp;
+                        self.arr_mut(node, ArrKind::L2).remove(vset, vway as usize);
+                        downstream
+                    }
+                    _ => {
+                        self.arr_mut(node, ArrKind::L2).remove(vset, vway as usize);
+                        Li::Mem
+                    }
+                };
+            }
+        }
+        // Copy the data to the victim location named by the RP.
+        let victim = match rp_target {
+            Li::LlcFs { .. } | Li::LlcNs { .. } => {
+                let (slice, vway) = self.llc_slice_way(rp_target);
+                let vset = self.llc_set(line, slice);
+                match self.llc[slice].at_mut(vset, vway) {
+                    Some((k, vdl)) if k == line.raw() => {
+                        vdl.master = true;
+                        vdl.excl = false;
+                        vdl.dirty = true;
+                        vdl.stale = false;
+                        vdl.version = slot.version;
+                        let ep = self.llc_endpoint(slice);
+                        if !quiet {
+                            self.noc.send(MsgClass::WbData, me, ep);
+                        }
+                        rp_target
+                    }
+                    _ => {
+                        self.ctr.determinism_errors += 1;
+                        debug_assert!(false, "RP victim slot vanished: line {line:?} rp {rp_target:?} node {node} kind {kind:?} quiet {quiet}");
+                        self.noc.offchip(MsgClass::MemWrite);
+                        self.oracle.write_memory(line, slot.version);
+                        Li::Mem
+                    }
+                }
+            }
+            Li::L2 { way: vway } if self.feats.private_l2 && kind != ArrKind::L2 => {
+                // Victim location in the local L2 (no interconnect traffic).
+                let vset = self.l2_set(line);
+                let arr = self.nodes[node].l2.as_mut().expect("L2 enabled");
+                match arr.at_mut(vset, vway as usize) {
+                    Some((k, vdl)) if k == line.raw() => {
+                        vdl.master = true;
+                        vdl.excl = slot.excl;
+                        vdl.dirty = true;
+                        vdl.stale = false;
+                        vdl.version = slot.version;
+                        // vdl.rp keeps its downstream victim location.
+                        Li::L2 { way: vway }
+                    }
+                    _ => {
+                        self.ctr.determinism_errors += 1;
+                        debug_assert!(false, "L2 victim slot vanished");
+                        self.noc.offchip(MsgClass::MemWrite);
+                        self.oracle.write_memory(line, slot.version);
+                        Li::Mem
+                    }
+                }
+            }
+            Li::Mem | Li::Invalid => {
+                self.noc.offchip(MsgClass::MemWrite);
+                self.oracle.write_memory(line, slot.version);
+                Li::Mem
+            }
+            other => {
+                debug_assert!(false, "master RP must be a victim location, got {other:?}");
+                self.noc.offchip(MsgClass::MemWrite);
+                self.oracle.write_memory(line, slot.version);
+                Li::Mem
+            }
+        };
+
+        if let Some(md) = md {
+            self.li_set(node, md, off, victim);
+        }
+
+        if private || quiet {
+            if !quiet {
+                self.ev.e_evict_private += 1;
+            }
+            if quiet {
+                return;
+            }
+            // Private regions: no other node can reference us; done.
+            return;
+        }
+
+        // Case F: shared region — repoint everyone tracking Node(self).
+        self.ev.f_evict_shared += 1;
+        self.noc.send(MsgClass::EvictReq, me, Endpoint::FarSide);
+        self.ctr.md3_accesses += 1;
+        self.energy.record(EnergyEvent::Md3, 1);
+        self.lockbits.acquire(region);
+        let (mask, _md3_fixed) = self.retarget(line, Li::Node(NodeId::new(node as u8)), victim);
+        for t in 0..self.cfg.nodes {
+            if t == node || mask & (1 << t) == 0 {
+                continue;
+            }
+            self.noc.send(
+                MsgClass::NewMaster,
+                Endpoint::FarSide,
+                Endpoint::Node(NodeId::new(t as u8)),
+            );
+            self.noc
+                .send(MsgClass::Ack, Endpoint::Node(NodeId::new(t as u8)), me);
+        }
+        self.noc.send(MsgClass::Done, me, Endpoint::FarSide);
+    }
+
+    /// Evicts one LLC slot (replacement): masters fall back to memory with a
+    /// NewMaster/RpFix fan-out to whoever pointed here; stale victims fix
+    /// their master's RP; replicas fix their owner's chain.
+    pub(crate) fn evict_llc_slot(&mut self, slice: usize, set: usize, way: usize) {
+        let Some((key, slot)) = self.llc[slice].remove(set, way) else {
+            return;
+        };
+        self.pressure[slice] += 1;
+        let line = LineAddr::new(key);
+        let from = self.li_of_llc(slice, way);
+        let to = if slot.master {
+            if slot.dirty {
+                self.noc.offchip(MsgClass::MemWrite);
+                self.oracle.write_memory(line, slot.version);
+            }
+            Li::Mem
+        } else if slot.stale {
+            // The owner's master keeps its data; its victim just moved to
+            // memory.
+            Li::Mem
+        } else {
+            // NS replica: chains fall back to the true master.
+            slot.rp
+        };
+        let (mask, md3_fixed) = self.retarget(line, from, to);
+        // Update messages to remote trackers (slice-local fixes are free).
+        let class = if slot.master {
+            MsgClass::NewMaster
+        } else {
+            MsgClass::RpFix
+        };
+        let slice_ep = self.llc_endpoint(slice);
+        for t in 0..self.cfg.nodes {
+            if mask & (1 << t) == 0 {
+                continue;
+            }
+            self.noc
+                .send(class, slice_ep, Endpoint::Node(NodeId::new(t as u8)));
+        }
+        if md3_fixed && slice_ep != Endpoint::FarSide {
+            self.noc.send(class, slice_ep, Endpoint::FarSide);
+        }
+    }
+
+    /// Evicts a node's MD2 entry: metadata inclusion forces out every line
+    /// the region tracks inside the node, then the final LIs spill to MD3
+    /// and the node's PB bit clears.
+    pub(crate) fn evict_md2_entry(&mut self, node: usize, set: usize, way: usize, notify: bool) {
+        let Some((key, entry)) = self.nodes[node].md2.at(set, way).map(|(k, e)| (k, *e)) else {
+            return;
+        };
+        let region = RegionAddr::new(key);
+        self.ctr.md2_evictions += 1;
+
+        // Fold the active MD1 entry (if any) back in, so the resident MD2
+        // entry is authoritative during the forced evictions.
+        if let Some(tp) = entry.tp {
+            let arr = match tp.side {
+                Md1Side::Instruction => &mut self.nodes[node].md1i,
+                Md1Side::Data => &mut self.nodes[node].md1d,
+            };
+            let (_, e1) = arr
+                .remove(tp.set as usize, tp.way as usize)
+                .expect("TP names a live MD1 entry");
+            let (_, e2) = self.nodes[node].md2.at_mut(set, way).expect("occupied");
+            e2.li = e1.li;
+            e2.private = e1.private;
+            e2.tp = None;
+        }
+
+        // Forced eviction of node-resident lines (and local-slice replicas).
+        // An eviction can re-point the LI at another node-resident location
+        // (e.g. L1 replica → local slice replica), so iterate per line until
+        // the LI stabilizes on a global location.
+        let is_i = self.region_is_icache(node, region);
+        for off in 0..LINES_PER_REGION {
+            let line = region.line(crate::meta_line_offset(off));
+            for _ in 0..4 {
+                let li = self.nodes[node]
+                    .md2
+                    .at(set, way)
+                    .map(|(_, e)| e.li[off])
+                    .expect("occupied");
+                match li {
+                    Li::L1 { way: lway } => {
+                        let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
+                        let lset = self.l1_set(line);
+                        self.evict_data_line(node, kind, lset, lway as usize, !notify);
+                    }
+                    Li::L2 { way: lway } if self.feats.private_l2 => {
+                        let lset = self.l2_set(line);
+                        self.evict_data_line(node, ArrKind::L2, lset, lway as usize, !notify);
+                    }
+                    Li::LlcNs { node: n, way: lway }
+                        if n.index() == node && self.feats.near_side =>
+                    {
+                        let lset = self.llc_set(line, node);
+                        let is_replica = self.llc[node]
+                            .at(lset, lway as usize)
+                            .is_some_and(|(k, dl)| k == line.raw() && !dl.master && !dl.stale);
+                        if !is_replica {
+                            break; // a master/victim slot in our slice may stay
+                        }
+                        let rp = self.llc[node]
+                            .at(lset, lway as usize)
+                            .map(|(_, dl)| dl.rp)
+                            .expect("occupied");
+                        self.llc[node].remove(lset, lway as usize);
+                        let (_, e2) = self.nodes[node].md2.at_mut(set, way).expect("occupied");
+                        e2.li[off] = rp;
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        let final_li = self.nodes[node]
+            .md2
+            .at(set, way)
+            .map(|(_, e)| e.li)
+            .expect("occupied");
+        self.nodes[node].md2.remove(set, way);
+
+        if notify {
+            self.noc.send(
+                MsgClass::Md2Spill,
+                Endpoint::Node(NodeId::new(node as u8)),
+                Endpoint::FarSide,
+            );
+            self.energy.record(EnergyEvent::Md3, 1);
+            let set3 = self.md3.set_index(region.raw());
+            if let Some(way3) = self.md3.way_of(set3, region.raw()) {
+                let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
+                e3.pb &= !(1 << node);
+                // If we were the private owner, MD3's LIs were invalid: our
+                // final LIs (all global now) re-seed them.
+                if e3.li.iter().all(|l| !l.is_valid()) {
+                    debug_assert!(
+                        final_li.iter().all(|l| !l.is_node_local()),
+                        "spill must upload only global LIs: {final_li:?}"
+                    );
+                    e3.li = final_li;
+                }
+            }
+        }
+    }
+
+    /// Evicts one MD3 entry: a global purge of the region (every PB node's
+    /// MD2 entry plus all LLC-resident lines go; dirty data drains to
+    /// memory).
+    pub(crate) fn evict_md3_entry(&mut self, set3: usize, way3: usize) {
+        let Some((key, entry)) = self.md3.at(set3, way3).map(|(k, e)| (k, *e)) else {
+            return;
+        };
+        let region = RegionAddr::new(key);
+        self.ctr.md3_evictions += 1;
+
+        for t in entry.pb_nodes().map(|n| n.index()) {
+            self.noc.send(
+                MsgClass::Inv,
+                Endpoint::FarSide,
+                Endpoint::Node(NodeId::new(t as u8)),
+            );
+            self.ctr.invalidations_received += 1;
+            let md2 = &self.nodes[t].md2;
+            let s2 = md2.set_index(region.raw());
+            if let Some(w2) = md2.way_of(s2, region.raw()) {
+                self.evict_md2_entry(t, s2, w2, false);
+            }
+            self.noc.send(
+                MsgClass::Ack,
+                Endpoint::Node(NodeId::new(t as u8)),
+                Endpoint::FarSide,
+            );
+        }
+
+        // Sweep the region's lines out of every LLC slice.
+        for slice in 0..self.llc.len() {
+            for line in region.lines() {
+                let set = self.llc_set(line, slice);
+                if let Some(way) = self.llc[slice].way_of(set, line.raw()) {
+                    let (_, dl) = self.llc[slice].at(set, way).expect("occupied");
+                    if dl.master && dl.dirty {
+                        self.noc.offchip(MsgClass::MemWrite);
+                        self.oracle.write_memory(line, dl.version);
+                    }
+                    self.llc[slice].remove(set, way);
+                }
+            }
+        }
+        self.md3.remove(set3, way3);
+    }
+
+    /// Bumps the bypass predictor's fill counter for `region` at `node`;
+    /// returns the current streaming prediction.
+    fn note_region_fill(&mut self, node: usize, region: RegionAddr) -> bool {
+        let md2 = &mut self.nodes[node].md2;
+        let set = md2.set_index(region.raw());
+        let Some(way) = md2.way_of(set, region.raw()) else {
+            return false;
+        };
+        let (_, e) = md2.at_mut(set, way).expect("occupied");
+        let streaming = e.predicts_streaming();
+        e.fills = e.fills.saturating_add(1);
+        streaming
+    }
+
+    /// Records an LLC-level reuse hit for the bypass predictor.
+    fn note_region_reuse(&mut self, node: usize, region: RegionAddr) {
+        if !self.feats.bypass {
+            return;
+        }
+        let md2 = &mut self.nodes[node].md2;
+        let set = md2.set_index(region.raw());
+        if let Some(way) = md2.way_of(set, region.raw()) {
+            let (_, e) = md2.at_mut(set, way).expect("occupied");
+            e.reuse = e.reuse.saturating_add(1);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Command-line front end: run any (system, workload) pair on any machine
+//! configuration and print the metrics as a table or JSON.
+//!
+//! ```text
+//! d2m-simulate --system d2m-ns-r --workload tpc-c --instructions 2000000
+//! d2m-simulate --system base-2l --workload canneal --json
+//! d2m-simulate --list
+//! ```
+
+use d2m_common::config::MachineConfig;
+use d2m_sim::{run_one, RunConfig, SystemKind};
+use d2m_workloads::catalog;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: d2m-simulate [--system NAME] [--workload NAME] \
+         [--instructions N] [--warmup N] [--seed N] [--md-scale 1|2|4] \
+         [--json] [--list]\n\
+         systems: base-2l base-3l d2m-fs d2m-ns d2m-ns-r"
+    );
+    std::process::exit(2)
+}
+
+fn parse_system(s: &str) -> Option<SystemKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "base-2l" | "base2l" => Some(SystemKind::Base2L),
+        "base-3l" | "base3l" => Some(SystemKind::Base3L),
+        "d2m-fs" | "fs" => Some(SystemKind::D2mFs),
+        "d2m-ns" | "ns" => Some(SystemKind::D2mNs),
+        "d2m-ns-r" | "ns-r" | "nsr" => Some(SystemKind::D2mNsR),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut system = SystemKind::D2mNsR;
+    let mut workload = "tpc-c".to_string();
+    let mut rc = RunConfig::quick();
+    let mut json = false;
+    let mut md_scale = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                for s in catalog::all() {
+                    println!("{:<16} ({})", s.name, s.category.name());
+                }
+                return;
+            }
+            "--json" => json = true,
+            "--system" => match it.next().and_then(|v| parse_system(v)) {
+                Some(k) => system = k,
+                None => usage(),
+            },
+            "--workload" => workload = it.next().cloned().unwrap_or_else(|| usage()),
+            "--instructions" => {
+                rc.instructions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--warmup" => {
+                rc.warmup_instructions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                rc.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--md-scale" => {
+                md_scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(spec) = catalog::by_name(&workload) else {
+        eprintln!("unknown workload {workload:?}; try --list");
+        std::process::exit(2);
+    };
+    let cfg = MachineConfig::default().scale_metadata(md_scale);
+    let m = run_one(system, &cfg, &spec, &rc);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&m).expect("serializable")
+        );
+    } else {
+        println!("system        {}", m.system);
+        println!("workload      {} ({})", m.workload, m.category);
+        println!("instructions  {}", m.instructions);
+        println!("cycles        {}  (ipc {:.2})", m.cycles, m.ipc);
+        println!(
+            "msgs/KI       {:.1}  (d2m-specific {:.1})",
+            m.msgs_per_kilo_inst, m.d2m_msgs_per_kilo_inst
+        );
+        println!("L1I miss      {:.2} / 100 inst", m.l1i_miss_pct);
+        println!("L1D miss      {:.2} / 100 inst", m.l1d_miss_pct);
+        println!("miss latency  {:.1} cycles", m.avg_miss_latency);
+        println!(
+            "NS local      I {:.0}%  D {:.0}%",
+            m.ns_hit_ratio_i * 100.0,
+            m.ns_hit_ratio_d * 100.0
+        );
+        println!("private miss  {:.0}%", m.private_miss_frac * 100.0);
+        println!("energy        {:.3e} pJ   EDP {:.3e}", m.energy_pj, m.edp);
+    }
+}

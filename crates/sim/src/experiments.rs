@@ -1,0 +1,178 @@
+//! Parallel experiment driver: the (system × workload) matrix behind every
+//! table and figure.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use d2m_common::config::MachineConfig;
+use d2m_common::stats::gmean;
+use d2m_workloads::WorkloadSpec;
+use parking_lot::Mutex;
+
+use crate::metrics::RunMetrics;
+use crate::runner::{run_one, RunConfig};
+use crate::systems::SystemKind;
+
+/// The completed matrix of runs.
+#[derive(Debug)]
+pub struct MatrixResult {
+    runs: Vec<RunMetrics>,
+}
+
+impl MatrixResult {
+    /// Reconstructs a result set from previously computed runs (e.g. a
+    /// cache file written by the benchmark harness).
+    pub fn from_runs(runs: Vec<RunMetrics>) -> Self {
+        Self { runs }
+    }
+
+    /// All runs, in completion-independent (system-major, then workload)
+    /// order.
+    pub fn runs(&self) -> &[RunMetrics] {
+        &self.runs
+    }
+
+    /// The run for `(system, workload)`.
+    pub fn get(&self, system: SystemKind, workload: &str) -> Option<&RunMetrics> {
+        self.runs
+            .iter()
+            .find(|r| r.system == system.name() && r.workload == workload)
+    }
+
+    /// Per-workload speedups of `system` over `base`, in workload order.
+    pub fn speedups(&self, system: SystemKind, base: SystemKind) -> Vec<(String, f64)> {
+        self.runs
+            .iter()
+            .filter(|r| r.system == base.name())
+            .filter_map(|b| {
+                self.get(system, &b.workload)
+                    .map(|s| (b.workload.clone(), s.speedup_vs(b)))
+            })
+            .collect()
+    }
+
+    /// Geometric mean of a per-workload relative metric over all workloads
+    /// (optionally restricted to one category).
+    pub fn gmean_relative<F>(
+        &self,
+        system: SystemKind,
+        base: SystemKind,
+        category: Option<&str>,
+        f: F,
+    ) -> f64
+    where
+        F: Fn(&RunMetrics, &RunMetrics) -> f64,
+    {
+        let vals: Vec<f64> = self
+            .runs
+            .iter()
+            .filter(|r| r.system == base.name())
+            .filter(|r| category.is_none_or(|c| r.category == c))
+            .filter_map(|b| self.get(system, &b.workload).map(|s| f(s, b)))
+            .collect();
+        gmean(&vals)
+    }
+
+    /// Mean of an absolute per-run metric over one system (optionally one
+    /// category).
+    pub fn mean_absolute<F>(&self, system: SystemKind, category: Option<&str>, f: F) -> f64
+    where
+        F: Fn(&RunMetrics) -> f64,
+    {
+        let vals: Vec<f64> = self
+            .runs
+            .iter()
+            .filter(|r| r.system == system.name())
+            .filter(|r| category.is_none_or(|c| r.category == c))
+            .map(f)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+/// Runs every `(system, workload)` pair in parallel across the machine's
+/// cores. Deterministic: results are identical to a serial run.
+pub fn run_matrix(
+    cfg: &MachineConfig,
+    systems: &[SystemKind],
+    workloads: &[WorkloadSpec],
+    rc: &RunConfig,
+) -> MatrixResult {
+    let jobs: Vec<(SystemKind, &WorkloadSpec)> = systems
+        .iter()
+        .flat_map(|s| workloads.iter().map(move |w| (*s, w)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, RunMetrics)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (kind, spec) = jobs[i];
+                let m = run_one(kind, cfg, spec, rc);
+                results.lock().push((i, m));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut indexed = results.into_inner();
+    indexed.sort_by_key(|(i, _)| *i);
+    MatrixResult {
+        runs: indexed.into_iter().map(|(_, m)| m).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2m_workloads::catalog;
+
+    #[test]
+    fn matrix_runs_all_pairs_in_order() {
+        let cfg = MachineConfig::default();
+        let specs = vec![
+            catalog::by_name("swaptions").unwrap(),
+            catalog::by_name("mix2").unwrap(),
+        ];
+        let rc = RunConfig {
+            instructions: 30_000,
+            warmup_instructions: 10_000,
+            seed: 1,
+        };
+        let m = run_matrix(&cfg, &[SystemKind::Base2L, SystemKind::D2mFs], &specs, &rc);
+        assert_eq!(m.runs().len(), 4);
+        assert!(m.get(SystemKind::Base2L, "swaptions").is_some());
+        assert!(m.get(SystemKind::D2mFs, "mix2").is_some());
+        let sp = m.speedups(SystemKind::D2mFs, SystemKind::Base2L);
+        assert_eq!(sp.len(), 2);
+        for (_, s) in sp {
+            assert!(s > 0.2 && s < 5.0);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cfg = MachineConfig::default();
+        let specs = vec![catalog::by_name("google").unwrap()];
+        let rc = RunConfig {
+            instructions: 30_000,
+            warmup_instructions: 5_000,
+            seed: 3,
+        };
+        let par = run_matrix(&cfg, &[SystemKind::D2mNsR], &specs, &rc);
+        let ser = run_one(SystemKind::D2mNsR, &cfg, &specs[0], &rc);
+        let p = &par.runs()[0];
+        assert_eq!(p.cycles, ser.cycles);
+        assert_eq!(p.invalidations, ser.invalidations);
+    }
+}

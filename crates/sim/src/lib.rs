@@ -1,0 +1,30 @@
+//! Trace-driven simulation runner and experiment presets.
+//!
+//! Ties the workload generator to the five simulated systems (Base-2L,
+//! Base-3L, D2M-FS, D2M-NS, D2M-NS-R), applies the analytic core timing
+//! model (paper §V-D: infinite bandwidth, I-misses stall the core, D-misses
+//! are mostly hidden), finalizes energy (structure accesses + NoC + memory +
+//! leakage) and extracts every metric the paper's tables and figures report.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use d2m_sim::{run_one, RunConfig, SystemKind};
+//! use d2m_common::MachineConfig;
+//! use d2m_workloads::catalog;
+//!
+//! let cfg = MachineConfig::default();
+//! let spec = catalog::by_name("tpc-c").unwrap();
+//! let m = run_one(SystemKind::D2mNsR, &cfg, &spec, &RunConfig::quick());
+//! println!("{}: {:.1} msgs/KI", m.system, m.msgs_per_kilo_inst);
+//! ```
+
+pub mod experiments;
+pub mod metrics;
+pub mod runner;
+pub mod systems;
+
+pub use experiments::{run_matrix, MatrixResult};
+pub use metrics::RunMetrics;
+pub use runner::{run_one, RunConfig};
+pub use systems::{AnySystem, SystemKind};

@@ -1,0 +1,200 @@
+//! Extracted per-run metrics — one field per quantity a paper table or
+//! figure reports.
+
+use d2m_common::stats::Counters;
+use serde::{Deserialize, Serialize};
+
+/// All metrics extracted from one (system, workload) run, measured over the
+/// post-warmup window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// System display name ("Base-2L", …).
+    pub system: String,
+    /// Workload name ("canneal", …).
+    pub workload: String,
+    /// Workload suite ("Parallel", …).
+    pub category: String,
+    /// Instructions simulated in the measurement window.
+    pub instructions: u64,
+    /// Execution cycles (max over node clocks).
+    pub cycles: u64,
+    /// Aggregate (whole-chip) instructions per cycle; the upper bound is
+    /// `nodes × base_ipc`.
+    pub ipc: f64,
+    /// Figure 5: on-chip messages per 1000 instructions.
+    pub msgs_per_kilo_inst: f64,
+    /// Figure 5 (lighter bars): D2M-specific messages per 1000 instructions.
+    pub d2m_msgs_per_kilo_inst: f64,
+    /// §V-B: on-chip data bytes per 1000 instructions.
+    pub data_bytes_per_kilo_inst: f64,
+    /// Table IV: L1-I misses per 100 instructions.
+    pub l1i_miss_pct: f64,
+    /// Table IV: L1-D misses per 100 instructions.
+    pub l1d_miss_pct: f64,
+    /// Table IV: late hits per 100 instructions, I side.
+    pub late_i_pct: f64,
+    /// Table IV: late hits per 100 instructions, D side.
+    pub late_d_pct: f64,
+    /// Table IV: near-side (local-slice) hit ratio over all LLC-level hits,
+    /// instruction side (or L2 hit ratio for Base-3L).
+    pub ns_hit_ratio_i: f64,
+    /// Same, data side.
+    pub ns_hit_ratio_d: f64,
+    /// §V-D: average L1-miss latency in cycles.
+    pub avg_miss_latency: f64,
+    /// Median L1-miss latency (power-of-two bucket upper bound).
+    pub p50_miss_latency: u64,
+    /// 95th-percentile L1-miss latency (power-of-two bucket upper bound).
+    pub p95_miss_latency: u64,
+    /// Fraction of misses serviced by main memory.
+    pub mem_service_frac: f64,
+    /// Total energy (pJ) over the window (dynamic + NoC + memory + leakage).
+    pub energy_pj: f64,
+    /// Figure 6: energy-delay product (pJ·cycles).
+    pub edp: f64,
+    /// Energy share of D2M-only structures (Figure 6 lighter bars).
+    pub d2m_energy_frac: f64,
+    /// Table V: invalidation messages received by nodes.
+    pub invalidations: u64,
+    /// Table V: fraction of private-cache misses to private regions
+    /// (D2M only; 0 for baselines).
+    pub private_miss_frac: f64,
+    /// §V-B: MD3 transactions (D2M) / directory accesses (baselines).
+    pub dir_or_md3_accesses: u64,
+    /// §V-B: MD2 lookups (D2M) / L2 tag searches (Base-3L).
+    pub md2_or_l2tag_accesses: u64,
+    /// Full counter delta for ad-hoc queries.
+    #[serde(skip)]
+    pub counters: Counters,
+}
+
+impl RunMetrics {
+    /// Speedup of this run relative to `base` (same workload).
+    pub fn speedup_vs(&self, base: &RunMetrics) -> f64 {
+        debug_assert_eq!(self.workload, base.workload);
+        // Same instruction count by construction; compare cycles.
+        base.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// EDP normalized to `base` (same workload).
+    pub fn edp_vs(&self, base: &RunMetrics) -> f64 {
+        self.edp / base.edp.max(f64::MIN_POSITIVE)
+    }
+
+    /// Traffic normalized to `base` (same workload).
+    pub fn traffic_vs(&self, base: &RunMetrics) -> f64 {
+        self.msgs_per_kilo_inst / base.msgs_per_kilo_inst.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Renders a set of runs as CSV (header + one row per run), for external
+/// plotting of the figures.
+pub fn to_csv(runs: &[RunMetrics]) -> String {
+    let mut out = String::from(
+        "system,workload,category,instructions,cycles,ipc,msgs_per_ki,         d2m_msgs_per_ki,data_bytes_per_ki,l1i_miss_pct,l1d_miss_pct,         late_i_pct,late_d_pct,ns_hit_i,ns_hit_d,avg_miss_latency,         mem_service_frac,energy_pj,edp,d2m_energy_frac,invalidations,         private_miss_frac
+",
+    );
+    for m in runs {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.4},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},             {:.4},{:.4},{:.2},{:.4},{:.6e},{:.6e},{:.4},{},{:.4}
+",
+            m.system,
+            m.workload,
+            m.category,
+            m.instructions,
+            m.cycles,
+            m.ipc,
+            m.msgs_per_kilo_inst,
+            m.d2m_msgs_per_kilo_inst,
+            m.data_bytes_per_kilo_inst,
+            m.l1i_miss_pct,
+            m.l1d_miss_pct,
+            m.late_i_pct,
+            m.late_d_pct,
+            m.ns_hit_ratio_i,
+            m.ns_hit_ratio_d,
+            m.avg_miss_latency,
+            m.mem_service_frac,
+            m.energy_pj,
+            m.edp,
+            m.d2m_energy_frac,
+            m.invalidations,
+            m.private_miss_frac,
+        ));
+    }
+    out
+}
+
+/// Subtracts two counter snapshots (`after - before`), saturating at zero.
+pub fn counters_delta(after: &Counters, before: &Counters) -> Counters {
+    after
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.saturating_sub(before.get(k))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(cycles: u64, edp: f64, msgs: f64) -> RunMetrics {
+        RunMetrics {
+            system: "x".into(),
+            workload: "w".into(),
+            category: "c".into(),
+            instructions: 1000,
+            cycles,
+            ipc: 1.0,
+            msgs_per_kilo_inst: msgs,
+            d2m_msgs_per_kilo_inst: 0.0,
+            data_bytes_per_kilo_inst: 0.0,
+            l1i_miss_pct: 0.0,
+            l1d_miss_pct: 0.0,
+            late_i_pct: 0.0,
+            late_d_pct: 0.0,
+            ns_hit_ratio_i: 0.0,
+            ns_hit_ratio_d: 0.0,
+            avg_miss_latency: 0.0,
+            p50_miss_latency: 0,
+            p95_miss_latency: 0,
+            mem_service_frac: 0.0,
+            energy_pj: 1.0,
+            edp,
+            d2m_energy_frac: 0.0,
+            invalidations: 0,
+            private_miss_frac: 0.0,
+            dir_or_md3_accesses: 0,
+            md2_or_l2tag_accesses: 0,
+            counters: Counters::new(),
+        }
+    }
+
+    #[test]
+    fn relative_metrics() {
+        let base = m(1000, 10.0, 100.0);
+        let fast = m(800, 5.0, 30.0);
+        assert!((fast.speedup_vs(&base) - 1.25).abs() < 1e-12);
+        assert!((fast.edp_vs(&base) - 0.5).abs() < 1e-12);
+        assert!((fast.traffic_vs(&base) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_run_plus_header() {
+        let runs = vec![m(10, 1.0, 2.0), m(20, 2.0, 3.0)];
+        let csv = to_csv(&runs);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("system,workload"));
+        assert!(csv.lines().nth(1).unwrap().starts_with("x,w,c,1000,10,"));
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let mut a = Counters::new();
+        a.set("x", 10).set("y", 5);
+        let mut b = Counters::new();
+        b.set("x", 3).set("y", 9);
+        let d = counters_delta(&a, &b);
+        assert_eq!(d.get("x"), 7);
+        assert_eq!(d.get("y"), 0);
+    }
+}

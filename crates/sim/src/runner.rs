@@ -1,0 +1,377 @@
+//! The trace-driven run loop and analytic core timing model.
+//!
+//! Timing model (paper §V-A/§V-D): each node has its own cycle clock.
+//! Committing instructions costs `insts / base_ipc` cycles; an L1 miss (or a
+//! late hit) additionally stalls the node for `(latency - L1) × blocking`,
+//! with `blocking = 1.0` for instruction misses (an OoO core cannot fetch
+//! past a missing instruction) and `≈ 0.35` for data misses (mostly hidden
+//! by the OoO window). Bandwidth is infinite, as in the paper.
+//!
+//! Energy finalization: structure accesses are recorded by the systems
+//! themselves; the runner adds per-message NoC energy and per-access memory
+//! energy from the interconnect counters, plus leakage over the measured
+//! cycles.
+
+use d2m_common::config::MachineConfig;
+use d2m_common::outcome::ServicedBy;
+use d2m_energy::EnergyEvent;
+use d2m_noc::MsgClass;
+use d2m_workloads::{TraceGen, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{counters_delta, RunMetrics};
+use crate::systems::{AnySystem, SystemKind};
+
+/// Run-length and reproducibility parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Instructions to measure (after warmup).
+    pub instructions: u64,
+    /// Warmup instructions (excluded from all metrics).
+    pub warmup_instructions: u64,
+    /// Master seed for workload generation and policies.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The default experiment length (used by the benchmark harness).
+    pub fn full() -> Self {
+        Self {
+            instructions: 6_000_000,
+            warmup_instructions: 2_000_000,
+            seed: 42,
+        }
+    }
+
+    /// A fast configuration for tests and `--quick` harness runs.
+    pub fn quick() -> Self {
+        Self {
+            instructions: 200_000,
+            warmup_instructions: 50_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[derive(Default, Clone)]
+struct ServeTally {
+    miss_hist: d2m_common::stats::Histogram,
+    ns_local_i: u64,
+    ns_local_d: u64,
+    l2_i: u64,
+    l2_d: u64,
+    llc_level_i: u64,
+    llc_level_d: u64,
+    miss_i: u64,
+    miss_d: u64,
+    mem_serviced: u64,
+    misses: u64,
+}
+
+impl ServeTally {
+    fn record(&mut self, is_i: bool, serviced: ServicedBy, latency: u32) {
+        self.miss_hist.record(latency as u64);
+        self.misses += 1;
+        if is_i {
+            self.miss_i += 1;
+        } else {
+            self.miss_d += 1;
+        }
+        match serviced {
+            ServicedBy::LocalNs => {
+                if is_i {
+                    self.ns_local_i += 1;
+                } else {
+                    self.ns_local_d += 1;
+                }
+            }
+            ServicedBy::L2 => {
+                if is_i {
+                    self.l2_i += 1;
+                } else {
+                    self.l2_d += 1;
+                }
+            }
+            ServicedBy::Mem => self.mem_serviced += 1,
+            _ => {}
+        }
+        if serviced.is_llc_level() {
+            if is_i {
+                self.llc_level_i += 1;
+            } else {
+                self.llc_level_d += 1;
+            }
+        }
+    }
+}
+
+/// Runs one (system, workload) pair and extracts its metrics.
+///
+/// # Panics
+///
+/// Panics if the machine config is invalid or (in debug builds) if the
+/// system violates value coherence.
+pub fn run_one(
+    kind: SystemKind,
+    cfg: &MachineConfig,
+    spec: &WorkloadSpec,
+    rc: &RunConfig,
+) -> RunMetrics {
+    let mut sys = AnySystem::build(kind, cfg, rc.seed);
+    let mut gen = TraceGen::new(spec, cfg.nodes, rc.seed);
+    let mut clocks = vec![0f64; cfg.nodes];
+    let mut batch = Vec::new();
+
+    let ipc = cfg.core.base_ipc;
+    let l1_lat = cfg.lat.l1 as f64;
+    let insts_per_fetch = spec.insts_per_fetch;
+    let mut tally = ServeTally::default();
+    let mut run_insts = |sys: &mut AnySystem,
+                         gen: &mut TraceGen,
+                         clocks: &mut [f64],
+                         tally: &mut ServeTally,
+                         measure: bool,
+                         target: u64| {
+        let mut insts = 0u64;
+        while insts < target {
+            batch.clear();
+            insts += gen.next_batch(&mut batch);
+            for a in &batch {
+                let n = a.node.index();
+                let now = clocks[n] as u64;
+                let r = sys.access(a, now);
+                let is_i = a.kind.is_ifetch();
+                if is_i {
+                    clocks[n] += insts_per_fetch / ipc;
+                }
+                if !r.l1_hit || r.late {
+                    let beyond = (r.latency as f64 - l1_lat).max(0.0);
+                    let blocking = if is_i {
+                        cfg.core.ifetch_blocking
+                    } else {
+                        cfg.core.data_blocking
+                    };
+                    clocks[n] += beyond * blocking;
+                }
+                if measure && !r.l1_hit {
+                    tally.record(is_i, r.serviced_by, r.latency);
+                }
+            }
+        }
+        insts
+    };
+
+    // Warmup, then snapshot.
+    run_insts(
+        &mut sys,
+        &mut gen,
+        &mut clocks,
+        &mut tally,
+        false,
+        rc.warmup_instructions,
+    );
+    let warm_counters = sys.counters();
+    let warm_cycles = clocks.iter().cloned().fold(0f64, f64::max);
+    let warm_dyn_std = sys.energy().dynamic_std_pj();
+    let warm_dyn_d2m = sys.energy().dynamic_d2m_pj();
+    tally = ServeTally::default();
+
+    // Measurement window.
+    let instructions = run_insts(
+        &mut sys,
+        &mut gen,
+        &mut clocks,
+        &mut tally,
+        true,
+        rc.instructions,
+    );
+    let end_cycles = clocks.iter().cloned().fold(0f64, f64::max);
+    let cycles = (end_cycles - warm_cycles).max(1.0) as u64;
+
+    assert_eq!(
+        sys.coherence_errors(),
+        0,
+        "{} violated value coherence on {}",
+        kind.name(),
+        spec.name
+    );
+
+    let delta = counters_delta(&sys.counters(), &warm_counters);
+
+    // ---- energy finalization over the measurement window ----
+    let model = *sys.energy().model();
+    let mut dynamic_std = sys.energy().dynamic_std_pj() - warm_dyn_std;
+    let dynamic_d2m = sys.energy().dynamic_d2m_pj() - warm_dyn_d2m;
+    for class in MsgClass::ALL {
+        let count = delta.get(&format!("noc.msg.{}", class.name()));
+        if count == 0 {
+            continue;
+        }
+        if class.is_offchip() {
+            dynamic_std += count as f64 * model.event_pj(EnergyEvent::Mem);
+        } else {
+            dynamic_std += count as f64 * model.event_pj(EnergyEvent::NocHeader);
+            let payload = class.payload_bytes() as f64 / 64.0;
+            dynamic_std += count as f64 * payload * model.event_pj(EnergyEvent::NocData);
+        }
+    }
+    let leakage = model.leak_pj_per_kb_cycle * sys.sram_kb() * cycles as f64;
+    let energy_pj = dynamic_std + dynamic_d2m + leakage;
+    let edp = energy_pj * cycles as f64;
+
+    // ---- metric extraction ----
+    let ki = instructions as f64 / 1000.0;
+    let pct = instructions as f64 / 100.0;
+    let msgs = delta.get("noc.msg_total") as f64;
+    let d2m_msgs = delta.get("noc.msg_d2m") as f64;
+    let miss_latency_sum = delta.get("miss_latency_sum") as f64;
+    let miss_count = delta.get("miss_count").max(1) as f64;
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    let (ns_i, ns_d) = match kind {
+        SystemKind::Base3L => (
+            ratio(tally.l2_i, tally.miss_i),
+            ratio(tally.l2_d, tally.miss_d),
+        ),
+        _ => (
+            ratio(tally.ns_local_i, tally.miss_i),
+            ratio(tally.ns_local_d, tally.miss_d),
+        ),
+    };
+    let private_misses = delta.get("private.misses");
+    let classified = delta.get("private.classified");
+    let dir_or_md3 = if kind.is_d2m() {
+        delta.get("md3.accesses")
+    } else {
+        delta.get("dir.accesses")
+    };
+    let md2_or_l2tag = if kind.is_d2m() {
+        delta.get("md2.accesses")
+    } else {
+        // Base-3L searches its L2 tags on every L1 miss.
+        delta.get("l1i.misses") + delta.get("l1d.misses")
+    };
+
+    RunMetrics {
+        system: kind.name().to_string(),
+        workload: spec.name.clone(),
+        category: spec.category.name().to_string(),
+        instructions,
+        cycles,
+        ipc: instructions as f64 / cycles as f64,
+        msgs_per_kilo_inst: msgs / ki,
+        d2m_msgs_per_kilo_inst: d2m_msgs / ki,
+        data_bytes_per_kilo_inst: delta.get("noc.bytes_data") as f64 / ki,
+        l1i_miss_pct: delta.get("l1i.misses") as f64 / pct,
+        l1d_miss_pct: delta.get("l1d.misses") as f64 / pct,
+        late_i_pct: delta.get("late_hits.i") as f64 / pct,
+        late_d_pct: delta.get("late_hits.d") as f64 / pct,
+        ns_hit_ratio_i: ns_i,
+        ns_hit_ratio_d: ns_d,
+        avg_miss_latency: miss_latency_sum / miss_count,
+        p50_miss_latency: tally.miss_hist.quantile(0.5),
+        p95_miss_latency: tally.miss_hist.quantile(0.95),
+        mem_service_frac: ratio(tally.mem_serviced, tally.misses),
+        energy_pj,
+        edp,
+        d2m_energy_frac: dynamic_d2m / energy_pj.max(f64::MIN_POSITIVE),
+        invalidations: delta.get("inv.received"),
+        private_miss_frac: ratio(private_misses, classified),
+        dir_or_md3_accesses: dir_or_md3,
+        md2_or_l2tag_accesses: md2_or_l2tag,
+        counters: delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2m_workloads::catalog;
+
+    fn quick() -> RunConfig {
+        RunConfig {
+            instructions: 60_000,
+            warmup_instructions: 20_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_produces_sane_metrics() {
+        let cfg = MachineConfig::default();
+        let spec = catalog::by_name("swaptions").unwrap();
+        let m = run_one(SystemKind::Base2L, &cfg, &spec, &quick());
+        assert!(m.instructions >= 60_000);
+        assert!(m.cycles > 0 && m.ipc > 0.1 && m.ipc <= cfg.core.base_ipc * cfg.nodes as f64);
+        assert!(m.energy_pj > 0.0 && m.edp > 0.0);
+        assert!(m.msgs_per_kilo_inst >= 0.0);
+    }
+
+    #[test]
+    fn d2m_reduces_traffic_on_a_private_workload() {
+        let mut cfg = MachineConfig::default();
+        cfg.check_coherence = true;
+        // A cache-warm multiprogrammed workload: private regions make D2M's
+        // misses directory-free and NS hits local.
+        let mut spec =
+            d2m_workloads::WorkloadSpec::base(d2m_workloads::Category::Server, "tiny-private");
+        spec.private_lines = 1 << 12;
+        spec.warm_regions = 60;
+        let rc = RunConfig {
+            instructions: 500_000,
+            warmup_instructions: 400_000,
+            seed: 7,
+        };
+        let base = run_one(SystemKind::Base2L, &cfg, &spec, &rc);
+        let d2m = run_one(SystemKind::D2mNsR, &cfg, &spec, &rc);
+        assert!(
+            d2m.msgs_per_kilo_inst < base.msgs_per_kilo_inst,
+            "D2M {} vs base {}",
+            d2m.msgs_per_kilo_inst,
+            base.msgs_per_kilo_inst
+        );
+        // Server mixes are fully private (Table V).
+        assert!(d2m.private_miss_frac > 0.99);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = MachineConfig::default();
+        let spec = catalog::by_name("google").unwrap();
+        let a = run_one(SystemKind::D2mNs, &cfg, &spec, &quick());
+        let b = run_one(SystemKind::D2mNs, &cfg, &spec, &quick());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.invalidations, b.invalidations);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn warmup_is_excluded() {
+        let cfg = MachineConfig::default();
+        let spec = catalog::by_name("swaptions").unwrap();
+        let long_warm = run_one(
+            SystemKind::Base2L,
+            &cfg,
+            &spec,
+            &RunConfig {
+                instructions: 50_000,
+                warmup_instructions: 100_000,
+                seed: 1,
+            },
+        );
+        // After a long warmup the small code footprint is resident: the
+        // measured L1-I miss ratio must be far below the cold one.
+        assert!(long_warm.l1i_miss_pct < 1.0, "{}", long_warm.l1i_miss_pct);
+    }
+}

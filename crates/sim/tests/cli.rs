@@ -1,0 +1,71 @@
+//! End-to-end tests of the `d2m-simulate` command-line front end.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_d2m-simulate"))
+}
+
+#[test]
+fn cli_runs_a_quick_simulation() {
+    let out = bin()
+        .args([
+            "--system",
+            "d2m-ns-r",
+            "--workload",
+            "swaptions",
+            "--instructions",
+            "40000",
+            "--warmup",
+            "10000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("D2M-NS-R"));
+    assert!(stdout.contains("msgs/KI"));
+}
+
+#[test]
+fn cli_emits_json() {
+    let out = bin()
+        .args([
+            "--system",
+            "base-2l",
+            "--workload",
+            "google",
+            "--instructions",
+            "30000",
+            "--warmup",
+            "5000",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON metrics");
+    assert_eq!(v["system"], "Base-2L");
+    assert!(v["cycles"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn cli_lists_workloads() {
+    let out = bin().arg("--list").output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 45);
+    assert!(stdout.contains("canneal"));
+}
+
+#[test]
+fn cli_rejects_unknown_workload() {
+    let out = bin()
+        .args(["--workload", "not-a-workload"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

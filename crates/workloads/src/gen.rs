@@ -1,0 +1,510 @@
+//! Deterministic trace generation from a [`WorkloadSpec`].
+//!
+//! One [`TraceGen`] produces an interleaved multicore access stream:
+//! per batch, every node issues one instruction-fetch event (representing a
+//! handful of instructions) plus the corresponding data accesses. All
+//! randomness comes from per-node [`SimRng`] streams derived from the master
+//! seed, so a `(spec, nodes, seed)` triple always yields the identical trace.
+//!
+//! See [`crate::spec`] for the hot/warm/cold mixture model the generator
+//! implements.
+
+use d2m_common::addr::{Asid, NodeId, VAddr, LINE_SHIFT};
+use d2m_common::rng::SimRng;
+
+use crate::spec::{Sharing, WorkloadSpec};
+
+/// Kind of memory access issued by a core.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// Instruction fetch (L1-I side).
+    IFetch,
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+impl AccessKind {
+    /// True for instruction fetches.
+    pub fn is_ifetch(self) -> bool {
+        matches!(self, AccessKind::IFetch)
+    }
+
+    /// True for stores.
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+/// One memory access of the interleaved trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Issuing node.
+    pub node: NodeId,
+    /// Address space of the access.
+    pub asid: Asid,
+    /// Fetch / load / store.
+    pub kind: AccessKind,
+    /// Virtual address.
+    pub vaddr: VAddr,
+}
+
+/// Virtual segment bases. Segments are far apart so footprints never overlap.
+const CODE_BASE: u64 = 0x0010_0000;
+const SHARED_BASE: u64 = 0x4000_0000;
+const PRIVATE_BASE: u64 = 0x1_0000_0000;
+const PRIVATE_STRIDE: u64 = 0x4000_0000;
+/// Lines per migratory/producer-consumer chunk (4 regions).
+const CHUNK_LINES: u64 = 64;
+/// Lines per metadata region.
+const REGION_LINES: u64 = 16;
+
+#[derive(Clone, Debug)]
+struct NodeGen {
+    rng: SimRng,
+    pc: u64,
+    scan_pos: u64,
+    scan_dwell: u8,
+    cold_region: u64,
+}
+
+/// Deterministic interleaved trace generator (see module docs).
+#[derive(Clone, Debug)]
+pub struct TraceGen {
+    spec: WorkloadSpec,
+    nodes: Vec<NodeGen>,
+    batches: u64,
+}
+
+impl TraceGen {
+    /// Creates a generator for `spec` over `node_count` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`] or `node_count`
+    /// is zero or exceeds 8.
+    pub fn new(spec: &WorkloadSpec, node_count: usize, seed: u64) -> Self {
+        spec.validate().expect("invalid workload spec");
+        assert!((1..=8).contains(&node_count));
+        let nodes = (0..node_count)
+            .map(|n| {
+                let mut rng =
+                    SimRng::from_label(seed, &format!("workload/{}/node{}", spec.name, n));
+                let pc = rng.below(spec.hot_code_lines);
+                let scan_pos = rng.below(spec.private_lines);
+                let cold_region = rng.below((spec.private_lines / REGION_LINES).max(1));
+                NodeGen {
+                    rng,
+                    pc,
+                    scan_pos,
+                    scan_dwell: 0,
+                    cold_region,
+                }
+            })
+            .collect();
+        Self {
+            spec: spec.clone(),
+            nodes,
+            batches: 0,
+        }
+    }
+
+    /// The spec driving this generator.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// ASID used by `node` under this spec.
+    pub fn asid_of(&self, node: usize) -> Asid {
+        if self.spec.multiprogrammed {
+            Asid(node as u16 + 1)
+        } else {
+            Asid(0)
+        }
+    }
+
+    /// Current migratory epoch (advances every `migratory_epoch` batches).
+    fn epoch(&self) -> u64 {
+        self.batches / self.spec.migratory_epoch.max(1)
+    }
+
+    /// Generates one batch: every node issues one fetch event plus its data
+    /// accesses. Appends to `out` and returns the number of instructions the
+    /// batch represents.
+    pub fn next_batch(&mut self, out: &mut Vec<Access>) -> u64 {
+        let spec = self.spec.clone();
+        let epoch = self.epoch();
+        let node_count = self.nodes.len();
+        let mut insts_total = 0u64;
+        for (n, st) in self.nodes.iter_mut().enumerate() {
+            let node = NodeId::new(n as u8);
+            let asid = if spec.multiprogrammed {
+                Asid(n as u16 + 1)
+            } else {
+                Asid(0)
+            };
+
+            // --- instruction fetch ---
+            let base_insts = spec.insts_per_fetch.floor() as u64;
+            let frac = spec.insts_per_fetch - base_insts as f64;
+            let insts = base_insts + u64::from(st.rng.chance(frac));
+            insts_total += insts;
+            if st.rng.chance(spec.jump_prob) {
+                st.pc = if st.rng.chance(spec.p_hot_code) {
+                    st.rng.zipf(spec.hot_code_lines, 1.0)
+                } else {
+                    // Cold code: region-granular pick keeps basic blocks
+                    // spatially clustered.
+                    let regions = (spec.code_lines / REGION_LINES).max(1);
+                    let r = st.rng.zipf(regions, 1.15);
+                    (r * REGION_LINES + st.rng.below(REGION_LINES)) % spec.code_lines
+                };
+            } else {
+                st.pc = (st.pc + 1) % spec.code_lines;
+            }
+            out.push(Access {
+                node,
+                asid,
+                kind: AccessKind::IFetch,
+                vaddr: VAddr::new(CODE_BASE + (st.pc << LINE_SHIFT)),
+            });
+
+            // --- data accesses ---
+            let expect = insts as f64 * spec.mem_op_frac;
+            let mut n_mem = expect.floor() as u64;
+            if st.rng.chance(expect - n_mem as f64) {
+                n_mem += 1;
+            }
+            for _ in 0..n_mem {
+                let access = if spec.shared_frac > 0.0 && st.rng.chance(spec.shared_frac) {
+                    Self::shared_access(&spec, st, node, asid, epoch, node_count)
+                } else {
+                    Self::private_access(&spec, st, node, asid, n)
+                };
+                out.push(access);
+            }
+        }
+        self.batches += 1;
+        insts_total
+    }
+
+    /// Hot/warm/cold mixture with optional strided scans (see module docs).
+    fn private_access(
+        spec: &WorkloadSpec,
+        st: &mut NodeGen,
+        node: NodeId,
+        asid: Asid,
+        n: usize,
+    ) -> Access {
+        let line = if spec.stride_frac > 0.0 && st.rng.chance(spec.stride_frac) {
+            // Streaming kernels touch several elements per 64 B line before
+            // the scan advances (dwell ≈ 6 accesses/line).
+            if st.scan_dwell == 0 {
+                st.scan_pos = (st.scan_pos + spec.stride_lines) % spec.private_lines;
+                st.scan_dwell = 5;
+            } else {
+                st.scan_dwell -= 1;
+            }
+            st.scan_pos
+        } else if st.rng.chance(spec.p_hot) {
+            st.rng.zipf(spec.hot_lines, 0.6)
+        } else if st.rng.chance(spec.p_warm / (1.0 - spec.p_hot).max(1e-9)) {
+            // Warm: region-granular (spatial locality inside 1 KB regions).
+            let region = st.rng.zipf(spec.warm_regions, 0.45);
+            let line = spec.hot_lines + region * REGION_LINES + st.rng.below(REGION_LINES);
+            line % spec.private_lines
+        } else {
+            // Cold: uniform over the whole footprint, in short region bursts
+            // (page-level spatial locality survives even in cold tails).
+            if st.rng.chance(0.25) {
+                st.cold_region = st.rng.below((spec.private_lines / REGION_LINES).max(1));
+            }
+            (st.cold_region * REGION_LINES + st.rng.below(REGION_LINES)) % spec.private_lines
+        };
+        let base = PRIVATE_BASE + n as u64 * PRIVATE_STRIDE;
+        let kind = if st.rng.chance(spec.write_frac) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        Access {
+            node,
+            asid,
+            kind,
+            vaddr: VAddr::new(base + (line << LINE_SHIFT)),
+        }
+    }
+
+    fn shared_access(
+        spec: &WorkloadSpec,
+        st: &mut NodeGen,
+        node: NodeId,
+        asid: Asid,
+        epoch: u64,
+        node_count: usize,
+    ) -> Access {
+        let n = node.index() as u64;
+        let nodes = node_count as u64;
+        let (line, kind) = match spec.sharing {
+            Sharing::None => unreachable!("shared access with Sharing::None"),
+            Sharing::ReadShared => {
+                // Region-granular reuse of mostly-read shared data.
+                let regions = (spec.shared_lines / REGION_LINES).max(1);
+                let region = st.rng.zipf(regions, spec.data_zipf + 0.3);
+                let line =
+                    (region * REGION_LINES + st.rng.zipf(REGION_LINES, 1.5)) % spec.shared_lines;
+                let kind = if st.rng.chance(spec.write_frac * 0.1) {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                (line, kind)
+            }
+            Sharing::Migratory => {
+                // Each chunk is owned by one node per epoch; ownership
+                // rotates so dirty lines migrate between private caches.
+                let chunks = (spec.shared_lines / CHUNK_LINES).max(nodes);
+                let chunks_per_node = (chunks / nodes).max(1);
+                let rank = st.rng.zipf(chunks_per_node, spec.data_zipf + 0.3);
+                let chunk = (rank * nodes + ((n + epoch) % nodes)) % chunks;
+                let line =
+                    (chunk * CHUNK_LINES + st.rng.zipf(CHUNK_LINES, 1.5)) % spec.shared_lines;
+                let kind = if st.rng.chance(spec.write_frac) {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                (line, kind)
+            }
+            Sharing::ProducerConsumer => {
+                // Even nodes write their own chunks; odd nodes read their
+                // producer neighbour's chunks.
+                let producer = n & !1;
+                let chunks = (spec.shared_lines / CHUNK_LINES).max(nodes);
+                let chunks_per_node = (chunks / nodes).max(1);
+                let rank = st.rng.zipf(chunks_per_node, spec.data_zipf + 0.3);
+                let chunk = (rank * nodes + producer) % chunks;
+                let line =
+                    (chunk * CHUNK_LINES + st.rng.zipf(CHUNK_LINES, 1.5)) % spec.shared_lines;
+                let kind = if n.is_multiple_of(2) && st.rng.chance(spec.write_frac) {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                (line, kind)
+            }
+        };
+        Access {
+            node,
+            asid,
+            kind,
+            vaddr: VAddr::new(SHARED_BASE + (line << LINE_SHIFT)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Category, WorkloadSpec};
+
+    fn gen_for(cat: Category) -> TraceGen {
+        TraceGen::new(&WorkloadSpec::base(cat, "t"), 8, 1)
+    }
+
+    fn collect(gen: &mut TraceGen, batches: usize) -> (Vec<Access>, u64) {
+        let mut v = Vec::new();
+        let mut insts = 0;
+        for _ in 0..batches {
+            insts += gen.next_batch(&mut v);
+        }
+        (v, insts)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = gen_for(Category::Parallel);
+        let mut b = gen_for(Category::Parallel);
+        let (va, ia) = collect(&mut a, 50);
+        let (vb, ib) = collect(&mut b, 50);
+        assert_eq!(ia, ib);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn every_node_fetches_each_batch() {
+        let mut g = gen_for(Category::Hpc);
+        let mut v = Vec::new();
+        g.next_batch(&mut v);
+        let fetches: Vec<_> = v.iter().filter(|a| a.kind.is_ifetch()).collect();
+        assert_eq!(fetches.len(), 8);
+        let nodes: std::collections::HashSet<_> = fetches.iter().map(|a| a.node.index()).collect();
+        assert_eq!(nodes.len(), 8);
+    }
+
+    #[test]
+    fn instruction_count_tracks_insts_per_fetch() {
+        let mut g = gen_for(Category::Parallel);
+        let (_, insts) = collect(&mut g, 1000);
+        let per_batch = insts as f64 / 1000.0;
+        // 8 nodes × ~6 insts/fetch.
+        assert!((per_batch - 48.0).abs() < 3.0, "got {per_batch}");
+    }
+
+    #[test]
+    fn mem_op_fraction_is_respected() {
+        let mut g = gen_for(Category::Parallel);
+        let (v, insts) = collect(&mut g, 2000);
+        let data = v.iter().filter(|a| !a.kind.is_ifetch()).count() as f64;
+        let frac = data / insts as f64;
+        assert!((frac - 0.33).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    fn hot_set_dominates_private_accesses() {
+        let mut g = gen_for(Category::Parallel);
+        let spec = g.spec().clone();
+        let (v, _) = collect(&mut g, 3000);
+        let priv_accesses: Vec<u64> = v
+            .iter()
+            .filter(|a| a.vaddr.raw() >= PRIVATE_BASE && !a.kind.is_ifetch())
+            .map(|a| ((a.vaddr.raw() - PRIVATE_BASE) % PRIVATE_STRIDE) >> LINE_SHIFT)
+            .collect();
+        let hot = priv_accesses
+            .iter()
+            .filter(|l| **l < spec.hot_lines)
+            .count() as f64;
+        let frac = hot / priv_accesses.len() as f64;
+        assert!(
+            (frac - spec.p_hot).abs() < 0.05,
+            "hot fraction {frac} vs p_hot {}",
+            spec.p_hot
+        );
+    }
+
+    #[test]
+    fn jumps_stay_mostly_in_hot_code() {
+        let mut g = gen_for(Category::Mobile);
+        let spec = g.spec().clone();
+        let (v, _) = collect(&mut g, 4000);
+        let fetch_lines: Vec<u64> = v
+            .iter()
+            .filter(|a| a.kind.is_ifetch())
+            .map(|a| (a.vaddr.raw() - CODE_BASE) >> LINE_SHIFT)
+            .collect();
+        let hot = fetch_lines
+            .iter()
+            .filter(|l| **l < spec.hot_code_lines)
+            .count() as f64;
+        let frac = hot / fetch_lines.len() as f64;
+        // Sequential runs leak out of the hot set, so the resident fraction
+        // is below p_hot_code but must still dominate.
+        assert!(frac > 0.5, "hot-code fraction {frac}");
+    }
+
+    #[test]
+    fn server_never_touches_shared_segment_and_uses_distinct_asids() {
+        let mut g = gen_for(Category::Server);
+        let (v, _) = collect(&mut g, 200);
+        for a in &v {
+            assert!(
+                a.vaddr.raw() < SHARED_BASE || a.vaddr.raw() >= PRIVATE_BASE,
+                "server access in shared segment: {a:?}"
+            );
+            assert_eq!(a.asid.0, a.node.index() as u16 + 1);
+        }
+    }
+
+    #[test]
+    fn shared_workloads_use_one_asid() {
+        let mut g = gen_for(Category::Database);
+        let (v, _) = collect(&mut g, 50);
+        assert!(v.iter().all(|a| a.asid.0 == 0));
+        assert!(v
+            .iter()
+            .any(|a| (SHARED_BASE..PRIVATE_BASE).contains(&a.vaddr.raw())));
+    }
+
+    #[test]
+    fn private_segments_are_node_disjoint() {
+        let mut g = gen_for(Category::Parallel);
+        let (v, _) = collect(&mut g, 500);
+        for a in v.iter().filter(|a| a.vaddr.raw() >= PRIVATE_BASE) {
+            let owner = (a.vaddr.raw() - PRIVATE_BASE) / PRIVATE_STRIDE;
+            assert_eq!(owner, a.node.index() as u64, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn producer_consumer_writes_only_from_even_nodes() {
+        let mut spec = WorkloadSpec::base(Category::Parallel, "pc");
+        spec.sharing = crate::spec::Sharing::ProducerConsumer;
+        let mut g = TraceGen::new(&spec, 8, 3);
+        let (v, _) = collect(&mut g, 500);
+        for a in v
+            .iter()
+            .filter(|a| a.kind.is_store() && (SHARED_BASE..PRIVATE_BASE).contains(&a.vaddr.raw()))
+        {
+            assert_eq!(a.node.index() % 2, 0, "odd node wrote shared data: {a:?}");
+        }
+    }
+
+    #[test]
+    fn stride_scan_produces_strided_lines() {
+        let mut spec = WorkloadSpec::base(Category::Hpc, "lu");
+        spec.stride_frac = 1.0;
+        spec.stride_lines = 128;
+        spec.shared_frac = 0.0;
+        spec.sharing = crate::spec::Sharing::ReadShared;
+        let mut g = TraceGen::new(&spec, 1, 5);
+        let (v, _) = collect(&mut g, 100);
+        let lines: Vec<u64> = v
+            .iter()
+            .filter(|a| a.vaddr.raw() >= PRIVATE_BASE)
+            .map(|a| (a.vaddr.raw() - PRIVATE_BASE) >> LINE_SHIFT)
+            .collect();
+        assert!(lines.len() > 10);
+        // The scan dwells ~6 accesses per line; consecutive distinct lines
+        // must be exactly one stride apart.
+        let mut distinct: Vec<u64> = lines.clone();
+        distinct.dedup();
+        let strided = distinct
+            .windows(2)
+            .filter(|w| (w[1] + spec.private_lines - w[0]) % spec.private_lines == 128)
+            .count();
+        assert!(
+            strided as f64 > distinct.len() as f64 * 0.9,
+            "{strided}/{}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn migratory_epoch_rotates_chunk_ownership() {
+        let mut spec = WorkloadSpec::base(Category::Hpc, "mig");
+        spec.shared_frac = 1.0;
+        spec.write_frac = 1.0;
+        spec.migratory_epoch = 10;
+        let mut g = TraceGen::new(&spec, 2, 7);
+        // Epoch 0: record which chunks node 0 writes.
+        let (v0, _) = collect(&mut g, 9);
+        let chunks0: std::collections::HashSet<u64> = v0
+            .iter()
+            .filter(|a| a.node.index() == 0 && !a.kind.is_ifetch())
+            .map(|a| (a.vaddr.raw() - SHARED_BASE) >> LINE_SHIFT >> 6)
+            .collect();
+        // Skip to a later epoch.
+        let (_, _) = collect(&mut g, 10);
+        let (v2, _) = collect(&mut g, 9);
+        let chunks2: std::collections::HashSet<u64> = v2
+            .iter()
+            .filter(|a| a.node.index() == 0 && !a.kind.is_ifetch())
+            .map(|a| (a.vaddr.raw() - SHARED_BASE) >> LINE_SHIFT >> 6)
+            .collect();
+        assert!(
+            chunks0.intersection(&chunks2).count() < chunks0.len(),
+            "ownership never rotated"
+        );
+    }
+}

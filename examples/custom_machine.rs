@@ -1,0 +1,53 @@
+//! Exploring a custom machine: every structure in the hierarchy is
+//! configurable, so the library can answer "what if" questions the paper
+//! does not — here, how D2M behaves when the metadata budget is halved
+//! versus doubled on a metadata-hungry workload (canneal).
+//!
+//! Run with: `cargo run --release --example custom_machine`
+
+use d2m_common::MachineConfig;
+use d2m_sim::{run_one, RunConfig, SystemKind};
+use d2m_workloads::catalog;
+
+fn main() {
+    let spec = catalog::by_name("canneal").expect("catalog workload");
+    let rc = RunConfig {
+        instructions: 800_000,
+        warmup_instructions: 300_000,
+        seed: 3,
+    };
+
+    println!("workload: canneal (the paper's MD2-thrashing outlier)\n");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>10}",
+        "metadata budget", "msgs/KI", "ReadMM/KI", "MD2-evict/KI", "miss-lat"
+    );
+    for (label, factor) in [("half (÷2)", 0), ("paper (1x)", 1), ("double (2x)", 2)] {
+        let cfg = match factor {
+            0 => {
+                let mut c = MachineConfig::default();
+                c.md1.sets /= 2;
+                c.md2.sets /= 2;
+                c.md3.sets /= 2;
+                c
+            }
+            f => MachineConfig::default().scale_metadata(1 << (f - 1)),
+        };
+        let m = run_one(SystemKind::D2mNsR, &cfg, &spec, &rc);
+        let ki = m.instructions as f64 / 1000.0;
+        println!(
+            "{:<18} {:>10.1} {:>12.2} {:>12.2} {:>10.1}",
+            label,
+            m.msgs_per_kilo_inst,
+            m.counters.get("case.d") as f64 / ki,
+            m.counters.get("md2.evictions") as f64 / ki,
+            m.avg_miss_latency,
+        );
+    }
+    println!(
+        "\nCanneal's pointer-chasing footprint overwhelms the region metadata:\n\
+         more MD capacity directly translates into fewer ReadMM rounds and\n\
+         forced region evictions — the mechanism behind the paper's footnote-5\n\
+         scaling study."
+    );
+}

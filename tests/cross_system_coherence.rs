@@ -1,0 +1,124 @@
+//! Cross-crate integration: every system must stay value-coherent and
+//! structurally sound on real catalog workloads, and simulations must be
+//! bit-reproducible.
+
+use d2m_common::MachineConfig;
+use d2m_core::{D2mSystem, D2mVariant};
+use d2m_sim::{run_one, RunConfig, SystemKind};
+use d2m_workloads::{catalog, TraceGen};
+
+fn rc() -> RunConfig {
+    RunConfig {
+        instructions: 80_000,
+        warmup_instructions: 20_000,
+        seed: 5,
+    }
+}
+
+#[test]
+fn all_systems_stay_coherent_on_a_shared_workload() {
+    let mut cfg = MachineConfig::default();
+    cfg.check_coherence = true;
+    let spec = catalog::by_name("fluidanimate").unwrap();
+    for kind in SystemKind::ALL {
+        // run_one asserts coherence_errors == 0 internally.
+        let m = run_one(kind, &cfg, &spec, &rc());
+        assert!(m.cycles > 0, "{}", kind.name());
+    }
+}
+
+#[test]
+fn d2m_invariants_hold_after_real_workloads() {
+    let mut cfg = MachineConfig::default();
+    cfg.check_coherence = true;
+    for name in ["dedup", "radiosity", "tpc-c", "mix3", "cnn"] {
+        let spec = catalog::by_name(name).unwrap();
+        for variant in [D2mVariant::FarSide, D2mVariant::NearSideRepl] {
+            let mut sys = D2mSystem::new(&cfg, variant);
+            let mut gen = TraceGen::new(&spec, cfg.nodes, 9);
+            let mut batch = Vec::new();
+            for _ in 0..400 {
+                batch.clear();
+                gen.next_batch(&mut batch);
+                for a in &batch {
+                    sys.access(a, 0);
+                }
+            }
+            assert_eq!(sys.coherence_errors(), 0, "{name}/{variant:?}");
+            assert_eq!(sys.determinism_errors(), 0, "{name}/{variant:?}");
+            sys.check_invariants()
+                .unwrap_or_else(|e| panic!("{name}/{variant:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn simulations_are_bit_reproducible() {
+    let cfg = MachineConfig::default();
+    let spec = catalog::by_name("x264").unwrap();
+    for kind in [SystemKind::Base3L, SystemKind::D2mNsR] {
+        let a = run_one(kind, &cfg, &spec, &rc());
+        let b = run_one(kind, &cfg, &spec, &rc());
+        assert_eq!(a.cycles, b.cycles, "{}", kind.name());
+        assert_eq!(a.counters, b.counters, "{}", kind.name());
+    }
+}
+
+#[test]
+fn every_catalog_workload_runs_on_every_system_briefly() {
+    let cfg = MachineConfig::default();
+    let quick = RunConfig {
+        instructions: 6_000,
+        warmup_instructions: 1_000,
+        seed: 2,
+    };
+    for spec in catalog::all() {
+        for kind in SystemKind::ALL {
+            let m = run_one(kind, &cfg, &spec, &quick);
+            assert!(
+                m.ipc > 0.0 && m.ipc <= cfg.core.base_ipc * cfg.nodes as f64,
+                "{} {}",
+                spec.name,
+                kind.name()
+            );
+            assert!(m.energy_pj > 0.0, "{} {}", spec.name, kind.name());
+        }
+    }
+}
+
+#[test]
+fn recorded_traces_replay_identically() {
+    use d2m_sim::AnySystem;
+    use d2m_workloads::trace_io::{read_trace, write_trace, ReplayGen};
+    use d2m_workloads::TraceGen;
+
+    let mut cfg = MachineConfig::default();
+    cfg.check_coherence = true;
+    let spec = catalog::by_name("barnes").unwrap();
+    let mut gen = TraceGen::new(&spec, cfg.nodes, 17);
+    let mut trace = Vec::new();
+    for _ in 0..300 {
+        gen.next_batch(&mut trace);
+    }
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).unwrap();
+    let loaded = read_trace(&buf[..]).unwrap();
+
+    // Driving a system from the in-memory trace and from the decoded file
+    // must produce identical counters.
+    let drive = |accs: &[d2m_workloads::Access]| {
+        let mut sys = AnySystem::build(SystemKind::D2mNsR, &cfg, 1);
+        for a in accs {
+            sys.access(a, 0);
+        }
+        assert_eq!(sys.coherence_errors(), 0);
+        sys.counters()
+    };
+    assert_eq!(drive(&trace), drive(&loaded));
+
+    // And the ReplayGen wrapper yields the same stream.
+    let mut rep = ReplayGen::new(loaded, 6);
+    let mut first = Vec::new();
+    rep.next_batch(&mut first);
+    assert_eq!(&first[..], &trace[..first.len()]);
+}
