@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, strict clippy.
+# Run from the repository root. Requires no network access (the workspace
+# has zero external dependencies; see README.md "Offline builds").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== ci.sh: all checks passed =="

@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks of the simulator's hot paths: set-associative
-//! lookup, LI pack/unpack, workload generation, and single-access protocol
-//! latencies for each system.
+//! Micro-benchmarks of the simulator's hot paths: set-associative lookup,
+//! LI pack/unpack, workload generation, and single-access protocol latencies
+//! for each system. Runs on the in-tree wall-clock harness
+//! ([`d2m_bench::timing`]); `harness = false` in `Cargo.toml`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use d2m_bench::timing::bench;
 use d2m_cache::SetAssoc;
 use d2m_common::addr::{Asid, NodeId, VAddr};
 use d2m_common::MachineConfig;
@@ -10,54 +13,46 @@ use d2m_core::{Li, LiEncoding};
 use d2m_sim::{AnySystem, SystemKind};
 use d2m_workloads::{catalog, Access, AccessKind, TraceGen};
 
-fn bench_set_assoc(c: &mut Criterion) {
+fn bench_set_assoc() {
     let mut arr: SetAssoc<u64> = SetAssoc::new(512, 8);
     for k in 0..4096u64 {
         let set = arr.set_index(k);
         let way = arr.victim_way(set);
         arr.insert_at(set, way, k, k);
     }
-    c.bench_function("set_assoc/keyed_lookup_hit", |b| {
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 1) & 4095;
-            let set = arr.set_index(k);
-            black_box(arr.peek(set, k));
-        })
+    let mut k = 0u64;
+    bench("set_assoc/keyed_lookup_hit", || {
+        k = (k + 1) & 4095;
+        let set = arr.set_index(k);
+        black_box(arr.peek(set, k));
     });
-    c.bench_function("set_assoc/victim_way", |b| {
-        let mut s = 0usize;
-        b.iter(|| {
-            s = (s + 1) & 511;
-            black_box(arr.victim_way(s));
-        })
+    let mut s = 0usize;
+    bench("set_assoc/victim_way", || {
+        s = (s + 1) & 511;
+        black_box(arr.victim_way(s));
     });
 }
 
-fn bench_li(c: &mut Criterion) {
-    c.bench_function("li/pack_unpack_roundtrip", |b| {
-        let mut i = 0u8;
-        b.iter(|| {
-            i = (i + 1) & 63;
-            let li = Li::unpack(i, LiEncoding::NearSide);
-            black_box(li.pack(LiEncoding::NearSide).ok());
-        })
+fn bench_li() {
+    let mut i = 0u8;
+    bench("li/pack_unpack_roundtrip", || {
+        i = (i + 1) & 63;
+        let li = Li::unpack(i, LiEncoding::NearSide);
+        black_box(li.pack(LiEncoding::NearSide).ok());
     });
 }
 
-fn bench_tracegen(c: &mut Criterion) {
+fn bench_tracegen() {
     let spec = catalog::by_name("tpc-c").unwrap();
     let mut gen = TraceGen::new(&spec, 8, 1);
     let mut batch = Vec::new();
-    c.bench_function("workloads/next_batch_tpcc", |b| {
-        b.iter(|| {
-            batch.clear();
-            black_box(gen.next_batch(&mut batch));
-        })
+    bench("workloads/next_batch_tpcc", || {
+        batch.clear();
+        black_box(gen.next_batch(&mut batch));
     });
 }
 
-fn bench_single_access(c: &mut Criterion) {
+fn bench_single_access() {
     let cfg = MachineConfig::default();
     for kind in [SystemKind::Base2L, SystemKind::D2mFs, SystemKind::D2mNsR] {
         let mut sys = AnySystem::build(kind, &cfg, 1);
@@ -69,19 +64,17 @@ fn bench_single_access(c: &mut Criterion) {
             vaddr: VAddr::new(0x100_0000),
         };
         sys.access(&a, 0);
-        c.bench_function(&format!("access/l1_hit/{}", kind.name()), |b| {
-            let mut now = 1u64;
-            b.iter(|| {
-                now += 1;
-                black_box(sys.access(&a, now));
-            })
+        let mut now = 1u64;
+        bench(&format!("access/l1_hit/{}", kind.name()), || {
+            now += 1;
+            black_box(sys.access(&a, now));
         });
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_set_assoc, bench_li, bench_tracegen, bench_single_access
+fn main() {
+    bench_set_assoc();
+    bench_li();
+    bench_tracegen();
+    bench_single_access();
 }
-criterion_main!(benches);

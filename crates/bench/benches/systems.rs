@@ -1,15 +1,17 @@
 //! End-to-end throughput benchmarks: simulated instructions per second for
 //! each system on representative workloads. These gate the practicality of
 //! the experiment harness (the full Figure 5–7 sweep is 225 such runs).
+//! Runs on the in-tree wall-clock harness ([`d2m_bench::timing`]).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use d2m_bench::timing::bench;
 use d2m_common::MachineConfig;
 use d2m_sim::{AnySystem, SystemKind};
 use d2m_workloads::{catalog, TraceGen};
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let cfg = MachineConfig::default();
-    let mut group = c.benchmark_group("simulate");
     for wl in ["swaptions", "tpc-c"] {
         let spec = catalog::by_name(wl).unwrap();
         for kind in [SystemKind::Base2L, SystemKind::D2mNsR] {
@@ -27,25 +29,14 @@ fn bench_end_to_end(c: &mut Criterion) {
                     sys.access(a, 0);
                 }
             }
-            group.throughput(Throughput::Elements(48)); // ~insts per batch
-            group.bench_function(format!("{wl}/{}", kind.name()), |b| {
-                b.iter(|| {
-                    batch.clear();
-                    let insts = gen.next_batch(&mut batch);
-                    for a in &batch {
-                        black_box(sys.access(a, 0));
-                    }
-                    insts
-                })
+            // One iteration simulates one generator batch (~48 insts).
+            bench(&format!("simulate/{wl}/{}", kind.name()), || {
+                batch.clear();
+                black_box(gen.next_batch(&mut batch));
+                for a in &batch {
+                    black_box(sys.access(a, 0));
+                }
             });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_end_to_end
-}
-criterion_main!(benches);

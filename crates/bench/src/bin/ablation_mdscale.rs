@@ -3,8 +3,8 @@
 //! reads serviced by a direct local-slice access. Paper: speedup 8.5% (1×)
 //! → 9.5% (2×); direct NS accesses 78% → 86%.
 
-use d2m_bench::{header, machine, parse_args, rule};
-use d2m_sim::{run_matrix, SystemKind};
+use d2m_bench::{cached_sweep, header, machine, parse_args, rule};
+use d2m_sim::{ConfigPoint, MatrixResult, SweepSpec, SystemKind};
 use d2m_workloads::catalog;
 
 fn main() {
@@ -27,19 +27,32 @@ fn main() {
         .map(|n| catalog::by_name(n).expect("workload"))
         .collect();
 
+    // One multi-config sweep covers all three scales: the config axis is
+    // part of the grid, so every cell runs in the same worker pool.
+    let spec = SweepSpec {
+        name: "mdscale".into(),
+        configs: [1usize, 2, 4]
+            .iter()
+            .map(|&scale| ConfigPoint {
+                label: format!("{scale}x"),
+                config: machine().scale_metadata(scale),
+            })
+            .collect(),
+        systems: vec![SystemKind::Base2L, SystemKind::D2mNsR],
+        workloads: specs,
+        instructions: hc.rc.instructions,
+        warmup_instructions: hc.rc.warmup_instructions,
+        master_seed: hc.rc.seed,
+    };
+    let res = cached_sweep(&spec);
+
     println!(
         "\n{:>6} {:>10} {:>12} {:>12} {:>12}",
         "scale", "speedup", "ns-local I", "ns-local D", "md2-miss/KI"
     );
     rule(58);
     for scale in [1usize, 2, 4] {
-        let cfg = machine().scale_metadata(scale);
-        let m = run_matrix(
-            &cfg,
-            &[SystemKind::Base2L, SystemKind::D2mNsR],
-            &specs,
-            &hc.rc,
-        );
+        let m = MatrixResult::from_runs(res.runs_for_config(&format!("{scale}x")));
         let sp = (m.gmean_relative(SystemKind::D2mNsR, SystemKind::Base2L, None, |s, b| {
             s.speedup_vs(b)
         }) - 1.0)

@@ -25,7 +25,8 @@
 //! All binaries accept `--quick` for a fast, reduced-length run.
 
 use d2m_common::config::MachineConfig;
-use d2m_sim::{MatrixResult, RunConfig, SystemKind};
+use d2m_common::ToJson;
+use d2m_sim::{run_sweep, MatrixResult, RunConfig, SweepResult, SweepSpec, SystemKind};
 use d2m_workloads::catalog;
 
 /// Harness-wide run parameters derived from the command line.
@@ -67,43 +68,68 @@ pub fn pct(x: f64) -> String {
     format!("{:5.1}", x * 100.0)
 }
 
-/// Runs (or loads from the on-disk cache) the full 45-workload × 5-system
-/// matrix behind Tables IV/V and Figures 5/6/7.
+/// FNV-1a hash of a deterministic-JSON rendering, used to key sweep caches.
+fn json_hash<T: ToJson>(value: &T) -> u64 {
+    let text = value.to_json().to_string_compact();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs a sweep, with its deterministic JSON cached on disk under `target/`.
 ///
-/// The cache lives under `target/` and is keyed by run length and seed, so
-/// the five figure binaries share one sweep.
-pub fn full_matrix(hc: &HarnessConfig) -> MatrixResult {
-    let cfg_hash = {
-        // Key the cache by the full machine configuration, so parameter
-        // changes invalidate stale sweeps.
-        let json = serde_json::to_string(&machine()).expect("serializable config");
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in json.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
+/// The cache file is keyed by a hash of the whole [`SweepSpec`] (grid,
+/// run length, master seed), so any parameter change invalidates stale
+/// results, and every bench binary shares the same emission path
+/// ([`SweepResult::to_json_string`]).
+pub fn cached_sweep(spec: &SweepSpec) -> SweepResult {
+    let cache = format!("target/d2m-sweep-{}-{:016x}.json", spec.name, json_hash(spec));
+    if let Ok(text) = std::fs::read_to_string(&cache) {
+        if let Ok(res) = SweepResult::from_json_string(&text) {
+            if res.cells.len() == spec.num_cells() {
+                eprintln!("[sweep:{}] loaded cache {cache}", spec.name);
+                return res;
+            }
         }
-        h
-    };
-    let cache = format!(
-        "target/d2m-matrix-{}-{}-{}-{cfg_hash:016x}.json",
-        hc.rc.instructions, hc.rc.warmup_instructions, hc.rc.seed
+    }
+    eprintln!(
+        "[sweep:{}] running {} cells on {} jobs (cache: {cache}) ...",
+        spec.name,
+        spec.num_cells(),
+        d2m_sim::default_jobs()
     );
-    if let Ok(bytes) = std::fs::read(&cache) {
-        if let Ok(runs) = serde_json::from_slice(&bytes) {
-            eprintln!("[matrix] loaded cache {cache}");
-            return MatrixResult::from_runs(runs);
-        }
-    }
-    eprintln!("[matrix] running 45 workloads x 5 systems (cache: {cache}) ...");
-    let t0 = std::time::Instant::now();
-    let m = d2m_sim::run_matrix(&machine(), &SystemKind::ALL, &catalog::all(), &hc.rc);
-    eprintln!("[matrix] done in {:.0?}", t0.elapsed());
-    if let Ok(bytes) = serde_json::to_vec(m.runs()) {
-        let _ = std::fs::write(&cache, bytes);
-    }
-    let csv = cache.replace(".json", ".csv");
+    let res = run_sweep(spec);
+    eprintln!(
+        "[sweep:{}] done in {:.1}s on {} jobs",
+        spec.name, res.wall_secs, res.jobs_used
+    );
+    let _ = std::fs::write(&cache, res.to_json_string());
+    res
+}
+
+/// Runs (or loads from the on-disk cache) the full 45-workload × 5-system
+/// matrix behind Tables IV/V and Figures 5/6/7, on the parallel sweep
+/// engine.
+pub fn full_matrix(hc: &HarnessConfig) -> MatrixResult {
+    let spec = SweepSpec::single(
+        "full-matrix",
+        &machine(),
+        &SystemKind::ALL,
+        &catalog::all(),
+        &hc.rc,
+    );
+    let res = cached_sweep(&spec);
+    let m = MatrixResult::from_runs(res.runs_for_config("default"));
+    let csv = format!(
+        "target/d2m-sweep-{}-{:016x}.csv",
+        spec.name,
+        json_hash(&spec)
+    );
     let _ = std::fs::write(&csv, d2m_sim::metrics::to_csv(m.runs()));
-    eprintln!("[matrix] CSV for external plotting: {csv}");
+    eprintln!("[sweep:{}] CSV for external plotting: {csv}", spec.name);
     m
 }
 
@@ -116,6 +142,38 @@ pub fn header(title: &str, hc: &HarnessConfig) {
         hc.rc.warmup_instructions,
         if hc.quick { "  [--quick]" } else { "" }
     );
+}
+
+/// Minimal wall-clock micro-benchmark harness used by the `benches/`
+/// binaries (`harness = false`; the workspace carries no external benchmark
+/// framework).
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Times `f` and prints its mean cost per iteration.
+    ///
+    /// A short warmup sizes the batch so one measurement pass lasts roughly
+    /// `measure`; results are indicative (wall-clock, no statistics) — the
+    /// goal is spotting order-of-magnitude regressions in the hot paths.
+    pub fn bench<F: FnMut()>(name: &str, mut f: F) {
+        let warmup = Duration::from_millis(200);
+        let measure = Duration::from_millis(600);
+        // Warmup while estimating iterations/second.
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < warmup {
+            f();
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((measure.as_secs_f64() / per_iter) as u64).max(1);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t1.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        println!("{name:<40} {ns:>12.1} ns/iter   ({iters} iters)");
+    }
 }
 
 #[cfg(test)]

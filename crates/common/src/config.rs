@@ -5,12 +5,11 @@
 //! and the latency parameters of the timing model. All experiment presets
 //! start from [`MachineConfig::default`] and tweak individual fields.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::LINE_BYTES;
+use crate::impl_json_struct;
 
 /// Geometry of one set-associative structure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Number of sets.
     pub sets: usize,
@@ -56,7 +55,7 @@ impl CacheGeometry {
 /// Values are of published magnitude for an energy-efficient ~2 GHz design;
 /// absolute numbers are documented in `DESIGN.md` §4 and only relative
 /// behaviour matters for the normalized results.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Latencies {
     /// L1 (I or D) array access, hit latency.
     pub l1: u32,
@@ -104,7 +103,7 @@ impl Default for Latencies {
 }
 
 /// Parameters of the analytic core model (see `DESIGN.md` §2).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CoreModel {
     /// Baseline instructions per cycle when no miss stalls the core.
     pub base_ipc: f64,
@@ -126,7 +125,7 @@ impl Default for CoreModel {
 }
 
 /// Near-side-LLC placement-policy parameters (paper §IV-B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NsPolicy {
     /// Cycle window over which slice pressure (replacements) is measured and
     /// exchanged (10 k cycles in the paper).
@@ -146,7 +145,7 @@ impl Default for NsPolicy {
 }
 
 /// Complete machine description.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
     /// Number of nodes (cores), at most 8 for the 6-bit LI encoding.
     pub nodes: usize,
@@ -258,6 +257,24 @@ impl MachineConfig {
     }
 }
 
+impl_json_struct!(CacheGeometry { sets, ways });
+impl_json_struct!(Latencies {
+    l1, md1, l2, ns_slice, noc, llc, md2, tlb2, md3, directory, mem, tlb_walk,
+});
+impl_json_struct!(CoreModel {
+    base_ipc,
+    ifetch_blocking,
+    data_blocking,
+});
+impl_json_struct!(NsPolicy {
+    pressure_window,
+    local_alloc_pct_under_pressure,
+});
+impl_json_struct!(MachineConfig {
+    nodes, l1i, l1d, l2, llc, ns_slice, md1, md2, md3, tlb, lat, core, ns_policy,
+    md2_pruning, check_coherence, md3_lock_bits,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,11 +331,11 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
+    fn config_json_roundtrip() {
+        use crate::json::{FromJson, Json, ToJson};
         let cfg = MachineConfig::default();
-        let json = serde_json::to_string(&cfg);
-        // serde_json is only a dev-dependency of downstream crates; here we
-        // just confirm Serialize is derivable by using serde's Value-free path.
-        assert!(json.is_ok() || json.is_err()); // compile-time check of derive
+        let text = cfg.to_json().to_string_compact();
+        let back = MachineConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cfg);
     }
 }

@@ -7,6 +7,9 @@
 //!   paper (64 B cachelines, 16-line regions).
 //! * [`config`] — the machine configuration (Table III analogue) shared by the
 //!   baselines and all D2M variants.
+//! * [`json`] — minimal deterministic JSON (the workspace builds without
+//!   external crates; byte-stable output is what the sweep engine's
+//!   determinism guarantee is stated in terms of).
 //! * [`rng`] — deterministic, stream-splittable random number generation so
 //!   that every simulation is exactly reproducible.
 //! * [`stats`] — counter registries, histograms and running means used for
@@ -28,6 +31,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod json;
 pub mod oracle;
 pub mod outcome;
 pub mod rng;
@@ -35,7 +39,8 @@ pub mod stats;
 
 pub use addr::{LineAddr, NodeId, PAddr, RegionAddr, VAddr, VRegionAddr};
 pub use config::MachineConfig;
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use oracle::VersionOracle;
 pub use outcome::{AccessResult, ServicedBy};
-pub use rng::SimRng;
+pub use rng::{derive_stream_seed, SimRng};
 pub use stats::Counters;

@@ -168,7 +168,6 @@ impl Li {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn table_i_encodings() {
@@ -258,43 +257,53 @@ mod tests {
         assert!(!Li::Node(NodeId::new(1)).is_llc());
     }
 
-    fn arb_li(enc: LiEncoding) -> impl Strategy<Value = Li> {
-        prop_oneof![
-            (0u8..8).prop_map(|n| Li::Node(NodeId::new(n))),
-            (0u8..8).prop_map(|way| Li::L1 { way }),
-            (0u8..8).prop_map(|way| Li::L2 { way }),
-            Just(Li::Mem),
-            Just(Li::Invalid),
-            match enc {
-                LiEncoding::FarSide => (0u8..32).prop_map(|way| Li::LlcFs { way }).boxed(),
-                LiEncoding::NearSide => ((0u8..8), (0u8..4))
-                    .prop_map(|(n, way)| Li::LlcNs {
-                        node: NodeId::new(n),
-                        way,
-                    })
-                    .boxed(),
-            },
-        ]
+    /// Every representable LI value for `enc` (exhaustive, replacing the
+    /// former proptest sampling — the whole space is tiny).
+    fn all_lis(enc: LiEncoding) -> Vec<Li> {
+        let mut lis = Vec::new();
+        lis.extend((0u8..8).map(|n| Li::Node(NodeId::new(n))));
+        lis.extend((0u8..8).map(|way| Li::L1 { way }));
+        lis.extend((0u8..8).map(|way| Li::L2 { way }));
+        lis.push(Li::Mem);
+        lis.push(Li::Invalid);
+        match enc {
+            LiEncoding::FarSide => lis.extend((0u8..32).map(|way| Li::LlcFs { way })),
+            LiEncoding::NearSide => {
+                for n in 0u8..8 {
+                    for way in 0u8..4 {
+                        lis.push(Li::LlcNs {
+                            node: NodeId::new(n),
+                            way,
+                        });
+                    }
+                }
+            }
+        }
+        lis
     }
 
-    proptest! {
-        #[test]
-        fn pack_unpack_roundtrip_farside(li in arb_li(LiEncoding::FarSide)) {
+    #[test]
+    fn pack_unpack_roundtrip_farside() {
+        for li in all_lis(LiEncoding::FarSide) {
             let bits = li.pack(LiEncoding::FarSide).unwrap();
-            prop_assert!(bits < 64, "must fit 6 bits");
-            prop_assert_eq!(Li::unpack(bits, LiEncoding::FarSide), li);
+            assert!(bits < 64, "{li:?} must fit 6 bits");
+            assert_eq!(Li::unpack(bits, LiEncoding::FarSide), li);
         }
+    }
 
-        #[test]
-        fn pack_unpack_roundtrip_nearside(li in arb_li(LiEncoding::NearSide)) {
+    #[test]
+    fn pack_unpack_roundtrip_nearside() {
+        for li in all_lis(LiEncoding::NearSide) {
             let bits = li.pack(LiEncoding::NearSide).unwrap();
-            prop_assert!(bits < 64);
-            prop_assert_eq!(Li::unpack(bits, LiEncoding::NearSide), li);
+            assert!(bits < 64, "{li:?} must fit 6 bits");
+            assert_eq!(Li::unpack(bits, LiEncoding::NearSide), li);
         }
+    }
 
-        #[test]
-        fn every_6bit_value_decodes(bits in 0u8..64) {
-            // Total decode: no 6-bit pattern is unrepresentable.
+    #[test]
+    fn every_6bit_value_decodes() {
+        // Total decode: no 6-bit pattern is unrepresentable.
+        for bits in 0u8..64 {
             let _ = Li::unpack(bits, LiEncoding::FarSide);
             let _ = Li::unpack(bits, LiEncoding::NearSide);
         }

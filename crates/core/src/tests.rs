@@ -6,8 +6,8 @@ use d2m_common::addr::{Asid, NodeId, VAddr};
 use d2m_common::config::MachineConfig;
 use d2m_common::outcome::ServicedBy;
 use d2m_noc::MsgClass;
+use d2m_common::rng::SimRng;
 use d2m_workloads::{catalog, Access, AccessKind, TraceGen};
-use proptest::prelude::*;
 
 use crate::system::{D2mSystem, D2mVariant};
 
@@ -413,17 +413,26 @@ fn md1_miss_md2_hit_path() {
     sys.check_invariants().unwrap();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random multi-node access sequences preserve value coherence, LI
-    /// determinism and all structural invariants, for every variant.
-    #[test]
-    fn random_accesses_preserve_all_invariants(
-        seed in 0u64..1000,
-        ops in prop::collection::vec(
-            (0u8..8, 0u8..3, 0u64..48), 200..400),
-    ) {
+/// Randomized multi-node access sequences preserve value coherence, LI
+/// determinism and all structural invariants, for every variant.
+///
+/// Formerly a proptest; now driven by 24 deterministic [`SimRng`] streams
+/// over the same op space (node 0..8, kind 0..3, slot 0..48, 200..400 ops)
+/// so the workspace builds with no external dependencies.
+#[test]
+fn random_accesses_preserve_all_invariants() {
+    for case in 0u64..24 {
+        let mut rng = SimRng::from_label(0xD2A7_0001, &format!("ops-{case}"));
+        let n_ops = 200 + rng.below(200) as usize;
+        let ops: Vec<(u8, u8, u64)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.below(8) as u8,
+                    rng.below(3) as u8,
+                    rng.below(48),
+                )
+            })
+            .collect();
         let mut systems: Vec<D2mSystem> = all_variants()
             .into_iter()
             .map(|v| D2mSystem::new(&small_cfg(), v))
@@ -438,7 +447,6 @@ proptest! {
             1,
         ));
         for mut sys in systems {
-            let _ = seed;
             for (i, (node, kind, slot)) in ops.iter().enumerate() {
                 // A small pool of lines across 3 regions shared by all nodes
                 // maximizes coherence interaction.
@@ -450,21 +458,40 @@ proptest! {
                 };
                 // Instruction fetches use a separate code pool: mixing
                 // ifetch and stores on one line is not a real program.
-                let va = if kind == AccessKind::IFetch { va + 0x100_0000 } else { va };
+                let va = if kind == AccessKind::IFetch {
+                    va + 0x100_0000
+                } else {
+                    va
+                };
                 sys.access(&acc(*node, kind, va), i as u64 * 7);
             }
-            prop_assert_eq!(sys.coherence_errors(), 0, "{:?}", sys.variant());
-            prop_assert_eq!(sys.determinism_errors(), 0, "{:?}", sys.variant());
+            assert_eq!(
+                sys.coherence_errors(),
+                0,
+                "case {case} {:?}",
+                sys.variant()
+            );
+            assert_eq!(
+                sys.determinism_errors(),
+                0,
+                "case {case} {:?}",
+                sys.variant()
+            );
             if let Err(e) = sys.check_invariants() {
-                return Err(TestCaseError::fail(format!("{:?}: {e}", sys.variant())));
+                panic!("case {case} {:?}: {e}", sys.variant());
             }
         }
     }
+}
 
-    /// Random workload traces from the catalog keep the oracle clean.
-    #[test]
-    fn catalog_traces_stay_coherent(widx in 0usize..45, seed in 0u64..50) {
-        let spec = &catalog::all()[widx];
+/// Every workload trace in the catalog keeps the oracle clean.
+///
+/// Formerly a sampled proptest over (workload, seed); now exhaustive over
+/// the whole catalog with a seed derived per workload.
+#[test]
+fn catalog_traces_stay_coherent() {
+    for (widx, spec) in catalog::all().iter().enumerate() {
+        let seed = (widx as u64) % 50;
         let mut sys = D2mSystem::new(&small_cfg(), D2mVariant::NearSideRepl);
         let mut gen = TraceGen::new(spec, 8, seed);
         let mut batch = Vec::new();
@@ -475,10 +502,10 @@ proptest! {
                 sys.access(a, 0);
             }
         }
-        prop_assert_eq!(sys.coherence_errors(), 0);
-        prop_assert_eq!(sys.determinism_errors(), 0);
+        assert_eq!(sys.coherence_errors(), 0, "{}", spec.name);
+        assert_eq!(sys.determinism_errors(), 0, "{}", spec.name);
         if let Err(e) = sys.check_invariants() {
-            return Err(TestCaseError::fail(e));
+            panic!("{}: {e}", spec.name);
         }
     }
 }

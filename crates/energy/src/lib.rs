@@ -26,7 +26,7 @@
 //! assert!(edp > 0.0);
 //! ```
 
-use serde::{Deserialize, Serialize};
+use d2m_common::impl_json_struct;
 
 /// A dynamic energy event, one per structure access or message.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -120,7 +120,7 @@ impl EnergyEvent {
 }
 
 /// Per-event dynamic energies (pJ) and leakage parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyModel {
     /// pJ per [`EnergyEvent::L1Array`].
     pub l1_array_pj: f64,
@@ -183,6 +183,25 @@ impl Default for EnergyModel {
         }
     }
 }
+
+impl_json_struct!(EnergyModel {
+    l1_array_pj,
+    l1_tag_way_pj,
+    l2_array_pj,
+    l2_tag_way_pj,
+    llc_array_pj,
+    llc_tag_way_pj,
+    ns_slice_pj,
+    tlb_pj,
+    directory_pj,
+    noc_header_pj,
+    noc_data_pj,
+    mem_pj,
+    md1_pj,
+    md2_pj,
+    md3_pj,
+    leak_pj_per_kb_cycle,
+});
 
 impl EnergyModel {
     /// Dynamic energy of one event in pJ.

@@ -88,10 +88,8 @@ fn main() {
     let cfg = MachineConfig::default().scale_metadata(md_scale);
     let m = run_one(system, &cfg, &spec, &rc);
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&m).expect("serializable")
-        );
+        use d2m_common::ToJson;
+        println!("{}", m.to_json().to_string_pretty());
     } else {
         println!("system        {}", m.system);
         println!("workload      {} ({})", m.workload, m.category);

@@ -1,15 +1,13 @@
 //! Parallel experiment driver: the (system × workload) matrix behind every
-//! table and figure.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! table and figure, built on the [`crate::sweep`] engine.
 
 use d2m_common::config::MachineConfig;
 use d2m_common::stats::gmean;
 use d2m_workloads::WorkloadSpec;
-use parking_lot::Mutex;
 
 use crate::metrics::RunMetrics;
-use crate::runner::{run_one, RunConfig};
+use crate::runner::RunConfig;
+use crate::sweep::{run_sweep, SweepSpec};
 use crate::systems::SystemKind;
 
 /// The completed matrix of runs.
@@ -94,42 +92,31 @@ impl MatrixResult {
 }
 
 /// Runs every `(system, workload)` pair in parallel across the machine's
-/// cores. Deterministic: results are identical to a serial run.
+/// cores via the sweep engine. Deterministic: results are bit-identical to a
+/// serial run regardless of thread count (see [`crate::sweep`]).
+///
+/// Each workload's trace seed is derived from `rc.seed` with
+/// [`d2m_common::rng::derive_stream_seed`], and shared by all systems so
+/// paired comparisons stay meaningful. Runs are returned in system-major,
+/// then workload, order.
 pub fn run_matrix(
     cfg: &MachineConfig,
     systems: &[SystemKind],
     workloads: &[WorkloadSpec],
     rc: &RunConfig,
 ) -> MatrixResult {
-    let jobs: Vec<(SystemKind, &WorkloadSpec)> = systems
-        .iter()
-        .flat_map(|s| workloads.iter().map(move |w| (*s, w)))
-        .collect();
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, RunMetrics)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (kind, spec) = jobs[i];
-                let m = run_one(kind, cfg, spec, rc);
-                results.lock().push((i, m));
-            });
+    let spec = SweepSpec::single("matrix", cfg, systems, workloads, rc);
+    let res = run_sweep(&spec);
+    // Sweep cells are workload-major within the single config; reorder into
+    // the system-major convention MatrixResult documents.
+    let s = systems.len();
+    let mut runs = Vec::with_capacity(res.cells.len());
+    for si in 0..s {
+        for wi in 0..workloads.len() {
+            runs.push(res.cells[wi * s + si].metrics.clone());
         }
-    })
-    .expect("worker panicked");
-    let mut indexed = results.into_inner();
-    indexed.sort_by_key(|(i, _)| *i);
-    MatrixResult {
-        runs: indexed.into_iter().map(|(_, m)| m).collect(),
     }
+    MatrixResult { runs }
 }
 
 #[cfg(test)]
@@ -170,9 +157,18 @@ mod tests {
             seed: 3,
         };
         let par = run_matrix(&cfg, &[SystemKind::D2mNsR], &specs, &rc);
-        let ser = run_one(SystemKind::D2mNsR, &cfg, &specs[0], &rc);
+        // The matrix derives a per-workload seed from rc.seed; reproduce the
+        // single cell serially with the same derivation.
+        let sweep = SweepSpec::single("matrix", &cfg, &[SystemKind::D2mNsR], &specs, &rc);
+        let ser = crate::runner::run_one(
+            SystemKind::D2mNsR,
+            &cfg,
+            &specs[0],
+            &sweep.cell_run_config(0),
+        );
         let p = &par.runs()[0];
         assert_eq!(p.cycles, ser.cycles);
         assert_eq!(p.invalidations, ser.invalidations);
+        assert_eq!(p.counters, ser.counters);
     }
 }

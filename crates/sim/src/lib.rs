@@ -5,6 +5,8 @@
 //! model (paper §V-D: infinite bandwidth, I-misses stall the core, D-misses
 //! are mostly hidden), finalizes energy (structure accesses + NoC + memory +
 //! leakage) and extracts every metric the paper's tables and figures report.
+//! The [`sweep`] module fans declarative (config × workload × system) grids
+//! over a deterministic work-stealing thread pool.
 //!
 //! # Example
 //!
@@ -22,9 +24,13 @@
 pub mod experiments;
 pub mod metrics;
 pub mod runner;
+pub mod sweep;
 pub mod systems;
 
 pub use experiments::{run_matrix, MatrixResult};
 pub use metrics::RunMetrics;
 pub use runner::{run_one, RunConfig};
+pub use sweep::{
+    default_jobs, run_sweep, run_sweep_with_jobs, CellResult, ConfigPoint, SweepResult, SweepSpec,
+};
 pub use systems::{AnySystem, SystemKind};

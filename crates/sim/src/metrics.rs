@@ -2,11 +2,10 @@
 //! figure reports.
 
 use d2m_common::stats::Counters;
-use serde::{Deserialize, Serialize};
 
 /// All metrics extracted from one (system, workload) run, measured over the
 /// post-warmup window.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunMetrics {
     /// System display name ("Base-2L", …).
     pub system: String,
@@ -64,9 +63,38 @@ pub struct RunMetrics {
     /// §V-B: MD2 lookups (D2M) / L2 tag searches (Base-3L).
     pub md2_or_l2tag_accesses: u64,
     /// Full counter delta for ad-hoc queries.
-    #[serde(skip)]
     pub counters: Counters,
 }
+
+d2m_common::impl_json_struct!(RunMetrics {
+    system,
+    workload,
+    category,
+    instructions,
+    cycles,
+    ipc,
+    msgs_per_kilo_inst,
+    d2m_msgs_per_kilo_inst,
+    data_bytes_per_kilo_inst,
+    l1i_miss_pct,
+    l1d_miss_pct,
+    late_i_pct,
+    late_d_pct,
+    ns_hit_ratio_i,
+    ns_hit_ratio_d,
+    avg_miss_latency,
+    p50_miss_latency,
+    p95_miss_latency,
+    mem_service_frac,
+    energy_pj,
+    edp,
+    d2m_energy_frac,
+    invalidations,
+    private_miss_frac,
+    dir_or_md3_accesses,
+    md2_or_l2tag_accesses,
+    counters,
+});
 
 impl RunMetrics {
     /// Speedup of this run relative to `base` (same workload).

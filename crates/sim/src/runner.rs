@@ -17,13 +17,12 @@ use d2m_common::outcome::ServicedBy;
 use d2m_energy::EnergyEvent;
 use d2m_noc::MsgClass;
 use d2m_workloads::{TraceGen, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 use crate::metrics::{counters_delta, RunMetrics};
 use crate::systems::{AnySystem, SystemKind};
 
 /// Run-length and reproducibility parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunConfig {
     /// Instructions to measure (after warmup).
     pub instructions: u64,
@@ -58,6 +57,12 @@ impl Default for RunConfig {
         Self::full()
     }
 }
+
+d2m_common::impl_json_struct!(RunConfig {
+    instructions,
+    warmup_instructions,
+    seed,
+});
 
 #[derive(Default, Clone)]
 struct ServeTally {

@@ -1,0 +1,414 @@
+//! Parallel deterministic sweep engine.
+//!
+//! A [`SweepSpec`] declares a grid of *cells* — the cartesian product of
+//! machine configurations, systems and workloads — plus the run length and a
+//! single master seed. [`run_sweep`] fans the cells over a work-stealing
+//! worker pool (one `std::thread` per job slot; the pool size defaults to the
+//! machine's parallelism and can be overridden with the `D2M_JOBS`
+//! environment variable) and aggregates the per-cell [`RunMetrics`] into a
+//! [`SweepResult`] whose cells appear in **cell-index order**, independent of
+//! which worker finished first.
+//!
+//! # Determinism
+//!
+//! The engine's contract is *bit-identical results regardless of thread
+//! count or scheduling*:
+//!
+//! * Every cell derives its own RNG seed with
+//!   [`derive_stream_seed`]`(master_seed, stream_index)` — a pure function of
+//!   the spec, never of execution order. The stream index covers the
+//!   `(config, workload)` axes only: all systems simulating one workload see
+//!   the **same trace**, which is what makes paired metrics such as
+//!   [`RunMetrics::speedup_vs`] meaningful.
+//! * Cells never share mutable state; each worker builds its own system and
+//!   generator from the cell seed.
+//! * [`SweepResult::to_json`] is rendered with the workspace's deterministic
+//!   JSON ([`d2m_common::json`]) and deliberately **excludes** wall-clock
+//!   time and the job count, so a 1-thread run and an N-thread run of the
+//!   same spec serialize to byte-identical text. The root-level
+//!   `tests/sweep_determinism.rs` test pins this property.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use d2m_common::config::MachineConfig;
+use d2m_common::json::{FromJson, Json, JsonError, ToJson};
+use d2m_common::rng::derive_stream_seed;
+use d2m_workloads::WorkloadSpec;
+
+use crate::metrics::RunMetrics;
+use crate::runner::{run_one, RunConfig};
+use crate::systems::SystemKind;
+
+/// One named machine configuration in a sweep grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigPoint {
+    /// Label used in cell results and JSON (e.g. `"default"`, `"md2x"`).
+    pub label: String,
+    /// The machine configuration for this grid point.
+    pub config: MachineConfig,
+}
+
+d2m_common::impl_json_struct!(ConfigPoint { label, config });
+
+/// A declarative sweep grid: every `(config, workload, system)` triple
+/// becomes one cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (carried into the result and its JSON).
+    pub name: String,
+    /// Machine configurations (outermost axis).
+    pub configs: Vec<ConfigPoint>,
+    /// Systems to simulate (innermost axis).
+    pub systems: Vec<SystemKind>,
+    /// Workloads to drive (middle axis).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Instructions to measure per cell (after warmup).
+    pub instructions: u64,
+    /// Warmup instructions per cell (excluded from metrics).
+    pub warmup_instructions: u64,
+    /// Master seed; per-cell seeds are derived from it.
+    pub master_seed: u64,
+}
+
+d2m_common::impl_json_struct!(SweepSpec {
+    name,
+    configs,
+    systems,
+    workloads,
+    instructions,
+    warmup_instructions,
+    master_seed,
+});
+
+impl SweepSpec {
+    /// A single-configuration sweep (the common case behind
+    /// [`crate::experiments::run_matrix`] and the figure benchmarks).
+    pub fn single(
+        name: &str,
+        cfg: &MachineConfig,
+        systems: &[SystemKind],
+        workloads: &[WorkloadSpec],
+        rc: &RunConfig,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            configs: vec![ConfigPoint {
+                label: "default".to_string(),
+                config: cfg.clone(),
+            }],
+            systems: systems.to_vec(),
+            workloads: workloads.to_vec(),
+            instructions: rc.instructions,
+            warmup_instructions: rc.warmup_instructions,
+            master_seed: rc.seed,
+        }
+    }
+
+    /// Total number of cells in the grid.
+    pub fn num_cells(&self) -> usize {
+        self.configs.len() * self.workloads.len() * self.systems.len()
+    }
+
+    /// Decomposes a cell index into `(config_idx, workload_idx, system_idx)`.
+    ///
+    /// Cell order is config-major, then workload, then system:
+    /// `index = (config_idx * W + workload_idx) * S + system_idx`.
+    pub fn cell_coords(&self, index: usize) -> (usize, usize, usize) {
+        let s = self.systems.len();
+        let w = self.workloads.len();
+        let system_idx = index % s;
+        let workload_idx = (index / s) % w;
+        let config_idx = index / (s * w);
+        (config_idx, workload_idx, system_idx)
+    }
+
+    /// The RNG seed for a cell. Pure function of the spec and the cell's
+    /// `(config, workload)` coordinates — the system axis is deliberately
+    /// excluded so every system replays the identical trace for a workload.
+    pub fn cell_seed(&self, index: usize) -> u64 {
+        let (config_idx, workload_idx, _) = self.cell_coords(index);
+        let stream_index = (config_idx * self.workloads.len() + workload_idx) as u64;
+        derive_stream_seed(self.master_seed, stream_index)
+    }
+
+    /// The [`RunConfig`] that reproduces cell `index` through
+    /// [`run_one`] on its own, outside the pool.
+    pub fn cell_run_config(&self, index: usize) -> RunConfig {
+        RunConfig {
+            instructions: self.instructions,
+            warmup_instructions: self.warmup_instructions,
+            seed: self.cell_seed(index),
+        }
+    }
+}
+
+/// One completed cell of a sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// Cell index in the spec's grid order.
+    pub index: u64,
+    /// Config label of the cell's [`ConfigPoint`].
+    pub config: String,
+    /// Simulated system.
+    pub system: SystemKind,
+    /// Workload name.
+    pub workload: String,
+    /// Derived RNG seed the cell ran with.
+    pub seed: u64,
+    /// Extracted metrics.
+    pub metrics: RunMetrics,
+}
+
+d2m_common::impl_json_struct!(CellResult {
+    index,
+    config,
+    system,
+    workload,
+    seed,
+    metrics,
+});
+
+/// The aggregated, deterministic result of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Sweep name from the spec.
+    pub name: String,
+    /// Master seed from the spec.
+    pub master_seed: u64,
+    /// Completed cells, in cell-index order.
+    pub cells: Vec<CellResult>,
+    /// Worker threads the sweep actually used (not serialized: execution
+    /// detail, not a result).
+    pub jobs_used: usize,
+    /// Wall-clock seconds the sweep took (not serialized).
+    pub wall_secs: f64,
+}
+
+// `jobs_used`/`wall_secs` are execution details; serializing them would
+// break the byte-identity guarantee across thread counts.
+d2m_common::impl_json_struct!(SweepResult {
+    name,
+    master_seed,
+    cells,
+} skip { jobs_used, wall_secs });
+
+impl SweepResult {
+    /// Renders the result as pretty-printed deterministic JSON — the shared
+    /// emission path for every bench binary. Byte-identical across thread
+    /// counts for the same spec.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Parses a result previously written by [`Self::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `text` is not valid JSON or does not match the
+    /// [`SweepResult`] shape.
+    pub fn from_json_string(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// The cell for `(config label, system, workload)`, if present.
+    pub fn get(&self, config: &str, system: SystemKind, workload: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.config == config && c.system == system && c.workload == workload)
+    }
+
+    /// Clones the run metrics of every cell under one config label, in cell
+    /// order (workload-major, system-minor).
+    pub fn runs_for_config(&self, config: &str) -> Vec<RunMetrics> {
+        self.cells
+            .iter()
+            .filter(|c| c.config == config)
+            .map(|c| c.metrics.clone())
+            .collect()
+    }
+}
+
+/// The worker-pool size: `D2M_JOBS` if set to a positive integer, else the
+/// machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("D2M_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs a sweep on the default pool size (see [`default_jobs`]).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (e.g. an invalid machine config).
+pub fn run_sweep(spec: &SweepSpec) -> SweepResult {
+    run_sweep_with_jobs(spec, default_jobs())
+}
+
+/// Runs a sweep on exactly `jobs` worker threads.
+///
+/// Workers pull the next unclaimed cell index from a shared atomic counter
+/// (work stealing at cell granularity), run it in isolation, and deposit the
+/// result into its preassigned slot — so the output order, and therefore the
+/// serialized JSON, never depends on scheduling.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero or a worker thread panics.
+pub fn run_sweep_with_jobs(spec: &SweepSpec, jobs: usize) -> SweepResult {
+    assert!(jobs >= 1, "sweep needs at least one worker");
+    let started = Instant::now();
+    let n = spec.num_cells();
+    let jobs_used = jobs.min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; n]);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs_used {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let (ci, wi, si) = spec.cell_coords(index);
+                let point = &spec.configs[ci];
+                let system = spec.systems[si];
+                let workload = &spec.workloads[wi];
+                let rc = spec.cell_run_config(index);
+                let metrics = run_one(system, &point.config, workload, &rc);
+                let cell = CellResult {
+                    index: index as u64,
+                    config: point.label.clone(),
+                    system,
+                    workload: workload.name.clone(),
+                    seed: rc.seed,
+                    metrics,
+                };
+                slots.lock().expect("slot mutex poisoned")[index] = Some(cell);
+            });
+        }
+    });
+    let cells = slots
+        .into_inner()
+        .expect("slot mutex poisoned")
+        .into_iter()
+        .map(|c| c.expect("every cell completed"))
+        .collect();
+    SweepResult {
+        name: spec.name.clone(),
+        master_seed: spec.master_seed,
+        cells,
+        jobs_used,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2m_workloads::catalog;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            name: "tiny".into(),
+            configs: vec![
+                ConfigPoint {
+                    label: "default".into(),
+                    config: MachineConfig::default(),
+                },
+                ConfigPoint {
+                    label: "md2x".into(),
+                    config: MachineConfig::default().scale_metadata(2),
+                },
+            ],
+            systems: vec![SystemKind::Base2L, SystemKind::D2mNsR],
+            workloads: vec![
+                catalog::by_name("swaptions").unwrap(),
+                catalog::by_name("mix2").unwrap(),
+            ],
+            instructions: 20_000,
+            warmup_instructions: 5_000,
+            master_seed: 42,
+        }
+    }
+
+    #[test]
+    fn cell_indexing_is_config_major_then_workload_then_system() {
+        let spec = tiny_spec();
+        assert_eq!(spec.num_cells(), 8);
+        assert_eq!(spec.cell_coords(0), (0, 0, 0));
+        assert_eq!(spec.cell_coords(1), (0, 0, 1));
+        assert_eq!(spec.cell_coords(2), (0, 1, 0));
+        assert_eq!(spec.cell_coords(4), (1, 0, 0));
+        assert_eq!(spec.cell_coords(7), (1, 1, 1));
+    }
+
+    #[test]
+    fn systems_share_the_workload_seed() {
+        let spec = tiny_spec();
+        // Cells 0 and 1 differ only in the system axis.
+        assert_eq!(spec.cell_seed(0), spec.cell_seed(1));
+        // Different workloads and configs get distinct streams.
+        assert_ne!(spec.cell_seed(0), spec.cell_seed(2));
+        assert_ne!(spec.cell_seed(0), spec.cell_seed(4));
+    }
+
+    #[test]
+    fn sweep_fills_every_cell_in_order() {
+        let spec = tiny_spec();
+        let res = run_sweep_with_jobs(&spec, 3);
+        assert_eq!(res.cells.len(), 8);
+        for (i, c) in res.cells.iter().enumerate() {
+            assert_eq!(c.index, i as u64);
+        }
+        assert!(res.get("md2x", SystemKind::D2mNsR, "mix2").is_some());
+        assert_eq!(res.runs_for_config("default").len(), 4);
+        assert_eq!(res.jobs_used, 3);
+    }
+
+    #[test]
+    fn single_cell_reproducible_via_run_one() {
+        let spec = tiny_spec();
+        let res = run_sweep_with_jobs(&spec, 2);
+        let idx = 5;
+        let (ci, wi, si) = spec.cell_coords(idx);
+        let m = run_one(
+            spec.systems[si],
+            &spec.configs[ci].config,
+            &spec.workloads[wi],
+            &spec.cell_run_config(idx),
+        );
+        assert_eq!(res.cells[idx].metrics, m);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_cells() {
+        let mut spec = tiny_spec();
+        spec.configs.truncate(1);
+        spec.workloads.truncate(1);
+        let res = run_sweep_with_jobs(&spec, 1);
+        let text = res.to_json_string();
+        let back = SweepResult::from_json_string(&text).unwrap();
+        assert_eq!(back.name, res.name);
+        assert_eq!(back.master_seed, res.master_seed);
+        assert_eq!(back.cells, res.cells);
+        // Execution details are not serialized.
+        assert_eq!(back.jobs_used, 0);
+        assert_eq!(back.wall_secs, 0.0);
+    }
+
+    #[test]
+    fn d2m_jobs_env_is_ignored_by_explicit_jobs() {
+        let spec = tiny_spec();
+        let res = run_sweep_with_jobs(&spec, 1);
+        assert_eq!(res.jobs_used, 1);
+    }
+}

@@ -8,10 +8,9 @@ use d2m_core::{D2mSystem, D2mVariant};
 use d2m_energy::EnergyAccount;
 use d2m_noc::Noc;
 use d2m_workloads::Access;
-use serde::{Deserialize, Serialize};
 
 /// The five systems of the paper's evaluation (Figure 4 / §V-A).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SystemKind {
     /// Mobile-class baseline: L1 + shared LLC, MESI directory.
     Base2L,
@@ -54,6 +53,14 @@ impl SystemKind {
         )
     }
 }
+
+d2m_common::impl_json_enum!(SystemKind {
+    Base2L,
+    Base3L,
+    D2mFs,
+    D2mNs,
+    D2mNsR,
+});
 
 /// A constructed system of any kind.
 pub enum AnySystem {

@@ -16,10 +16,10 @@
 //! `DESIGN.md` §2), which are the workload properties every figure responds
 //! to.
 
-use serde::{Deserialize, Serialize};
+use d2m_common::{impl_json_enum, impl_json_struct};
 
 /// The paper's five workload suites.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Category {
     /// Parsec (paper "Parallel").
     Parallel,
@@ -56,7 +56,7 @@ impl Category {
 }
 
 /// How threads share the shared data segment.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Sharing {
     /// No shared segment is ever touched (multiprogrammed workloads).
     None,
@@ -70,7 +70,7 @@ pub enum Sharing {
 }
 
 /// Behavioural model of one benchmark (see module docs).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
     /// Benchmark name as it appears in the paper's figures.
     pub name: String,
@@ -254,6 +254,44 @@ impl WorkloadSpec {
         Ok(())
     }
 }
+
+impl_json_enum!(Category {
+    Parallel,
+    Hpc,
+    Mobile,
+    Server,
+    Database,
+});
+impl_json_enum!(Sharing {
+    None,
+    ReadShared,
+    Migratory,
+    ProducerConsumer,
+});
+impl_json_struct!(WorkloadSpec {
+    name,
+    category,
+    code_lines,
+    hot_code_lines,
+    p_hot_code,
+    jump_prob,
+    insts_per_fetch,
+    mem_op_frac,
+    write_frac,
+    hot_lines,
+    p_hot,
+    warm_regions,
+    p_warm,
+    private_lines,
+    stride_frac,
+    stride_lines,
+    shared_lines,
+    shared_frac,
+    data_zipf,
+    sharing,
+    multiprogrammed,
+    migratory_epoch,
+});
 
 #[cfg(test)]
 mod tests {

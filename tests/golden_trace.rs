@@ -1,0 +1,146 @@
+//! Golden-trace regression tests.
+//!
+//! Each golden case is a small canned `D2MT` trace committed under
+//! `tests/golden/` together with a JSON snapshot of the full counter state
+//! (cache hits/misses, NoC message classes, DRAM traffic, …) produced by
+//! driving the baseline (`Base-2L`) and the full D2M system (`D2M-NS-R`)
+//! over it. Any change to hit/miss accounting, the coherence protocol, or
+//! message generation shows up as a counter diff against the snapshot.
+//!
+//! To regenerate the fixtures after an *intentional* behavioural change:
+//!
+//! ```text
+//! D2M_BLESS=1 cargo test --test golden_trace
+//! ```
+//!
+//! Blessing rewrites both the traces (deterministically generated from the
+//! workload catalog) and the snapshots; review the diff before committing.
+
+use std::path::{Path, PathBuf};
+
+use d2m_common::json::{FromJson, Json, ToJson};
+use d2m_common::stats::Counters;
+use d2m_common::MachineConfig;
+use d2m_sim::{AnySystem, SystemKind};
+use d2m_workloads::trace_io::{read_trace, write_trace};
+use d2m_workloads::{catalog, Access, TraceGen};
+
+/// The committed golden cases: (name, workload, generator seed, batches).
+/// Batches are small on purpose — each trace is a few thousand records.
+const CASES: [(&str, &str, u64, usize); 3] = [
+    ("swaptions", "swaptions", 11, 40),
+    ("mix2", "mix2", 23, 40),
+    ("tpc-c", "tpc-c", 37, 40),
+];
+
+/// Systems snapshotted per trace: the mobile baseline and the full D2M.
+const SYSTEMS: [SystemKind; 2] = [SystemKind::Base2L, SystemKind::D2mNsR];
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn blessing() -> bool {
+    std::env::var("D2M_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn generate(workload: &str, seed: u64, batches: usize) -> Vec<Access> {
+    let spec = catalog::by_name(workload).expect("catalog workload");
+    let mut gen = TraceGen::new(&spec, 8, seed);
+    let mut trace = Vec::new();
+    for _ in 0..batches {
+        gen.next_batch(&mut trace);
+    }
+    trace
+}
+
+/// Drives `kind` over the trace with the value-coherence oracle on and
+/// returns the final counter state.
+fn drive(kind: SystemKind, trace: &[Access]) -> Counters {
+    let mut cfg = MachineConfig::default();
+    cfg.check_coherence = true;
+    let mut sys = AnySystem::build(kind, &cfg, 1);
+    for a in trace {
+        sys.access(a, 0);
+    }
+    assert_eq!(sys.coherence_errors(), 0, "{}", kind.name());
+    sys.counters()
+}
+
+fn snapshot(trace: &[Access]) -> Json {
+    Json::Obj(
+        SYSTEMS
+            .iter()
+            .map(|&k| (k.name().to_string(), drive(k, trace).to_json()))
+            .collect(),
+    )
+}
+
+#[test]
+fn golden_traces_match_counter_snapshots() {
+    let dir = golden_dir();
+    if blessing() {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    for (name, workload, seed, batches) in CASES {
+        let trace_path = dir.join(format!("{name}.trace"));
+        let snap_path = dir.join(format!("{name}.counters.json"));
+        if blessing() {
+            let trace = generate(workload, seed, batches);
+            let mut buf = Vec::new();
+            write_trace(&mut buf, &trace).expect("encode trace");
+            std::fs::write(&trace_path, &buf).expect("write trace");
+            let mut text = snapshot(&trace).to_string_pretty();
+            text.push('\n');
+            std::fs::write(&snap_path, text).expect("write snapshot");
+            eprintln!("[bless] {name}: {} records", trace.len());
+            continue;
+        }
+        let bytes = std::fs::read(&trace_path).unwrap_or_else(|e| {
+            panic!("missing golden trace {trace_path:?} ({e}); run D2M_BLESS=1 to create")
+        });
+        let trace = read_trace(&bytes[..]).expect("valid D2MT trace");
+        let expected = Json::parse(
+            &std::fs::read_to_string(&snap_path).unwrap_or_else(|e| {
+                panic!("missing snapshot {snap_path:?} ({e}); run D2M_BLESS=1 to create")
+            }),
+        )
+        .expect("valid snapshot JSON");
+        for kind in SYSTEMS {
+            let got = drive(kind, &trace);
+            let want = Counters::from_json(
+                expected
+                    .get(kind.name())
+                    .unwrap_or_else(|| panic!("{name}: snapshot lacks {}", kind.name())),
+            )
+            .expect("snapshot counters decode");
+            assert_eq!(
+                got,
+                want,
+                "{name}/{}: counters diverged from golden snapshot \
+                 (if intentional, re-bless with D2M_BLESS=1)",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_traces_are_regenerable() {
+    // The committed traces must stay reproducible from the generator, so a
+    // bless run can never silently change the inputs.
+    if blessing() {
+        return; // the bless pass itself rewrites the traces
+    }
+    for (name, workload, seed, batches) in CASES {
+        let path = golden_dir().join(format!("{name}.trace"));
+        let bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing {path:?} ({e}); run D2M_BLESS=1"));
+        let committed = read_trace(&bytes[..]).expect("valid D2MT trace");
+        assert_eq!(
+            committed,
+            generate(workload, seed, batches),
+            "{name}: committed trace no longer matches its generator recipe"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! The sweep engine's core guarantee: results are **byte-identical**
+//! regardless of worker-thread count. A 1-thread run and a multi-thread run
+//! of the same spec must serialize to exactly the same JSON text.
+
+use d2m_common::MachineConfig;
+use d2m_sim::{run_sweep_with_jobs, ConfigPoint, SweepSpec, SystemKind};
+use d2m_workloads::catalog;
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        name: "determinism".into(),
+        configs: vec![
+            ConfigPoint {
+                label: "default".into(),
+                config: MachineConfig::default(),
+            },
+            ConfigPoint {
+                label: "md2x".into(),
+                config: MachineConfig::default().scale_metadata(2),
+            },
+        ],
+        systems: vec![SystemKind::Base2L, SystemKind::D2mFs, SystemKind::D2mNsR],
+        workloads: vec![
+            catalog::by_name("swaptions").unwrap(),
+            catalog::by_name("mix2").unwrap(),
+        ],
+        instructions: 25_000,
+        warmup_instructions: 5_000,
+        master_seed: 42,
+    }
+}
+
+#[test]
+fn parallel_sweep_json_is_byte_identical_to_serial() {
+    let s = spec();
+    assert!(s.num_cells() >= 8, "grid must exercise real fan-out");
+    let serial = run_sweep_with_jobs(&s, 1);
+    let parallel = run_sweep_with_jobs(&s, 4);
+    assert_eq!(serial.jobs_used, 1);
+    assert_eq!(parallel.jobs_used, 4);
+    let a = serial.to_json_string();
+    let b = parallel.to_json_string();
+    assert!(
+        a.as_bytes() == b.as_bytes(),
+        "1-thread and 4-thread sweeps must serialize identically"
+    );
+}
+
+#[test]
+fn oversubscribed_pool_is_also_identical() {
+    // More workers than cells: most workers find the queue empty.
+    let s = spec();
+    let a = run_sweep_with_jobs(&s, 2).to_json_string();
+    let b = run_sweep_with_jobs(&s, 32).to_json_string();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn systems_see_the_same_trace_per_workload() {
+    // The per-cell seed excludes the system axis, so paired comparisons
+    // (speedup, relative EDP) are over the exact same access stream.
+    let s = spec();
+    let res = run_sweep_with_jobs(&s, 4);
+    for cells in res.cells.chunks(s.systems.len()) {
+        for c in &cells[1..] {
+            assert_eq!(c.seed, cells[0].seed, "workload {}", cells[0].workload);
+            assert_eq!(c.workload, cells[0].workload);
+            assert_eq!(
+                c.metrics.instructions, cells[0].metrics.instructions,
+                "same trace ⇒ same instruction count"
+            );
+        }
+    }
+}
