@@ -14,4 +14,7 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== ci.sh: all checks passed =="

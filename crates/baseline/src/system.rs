@@ -20,6 +20,7 @@ use d2m_common::addr::{LineAddr, NodeId};
 use d2m_common::config::MachineConfig;
 use d2m_common::oracle::VersionOracle;
 use d2m_common::outcome::{AccessResult, ServicedBy};
+use d2m_common::probe::{LookupLevel, Probe, TxnEvent, TxnKind};
 use d2m_common::stats::Counters;
 use d2m_energy::{EnergyAccount, EnergyEvent, EnergyModel};
 use d2m_noc::{Endpoint, MsgClass, Noc};
@@ -139,6 +140,11 @@ impl Baseline {
         &self.noc
     }
 
+    /// Mutable interconnect accumulator (e.g. to enable traffic recording).
+    pub fn noc_mut(&mut self) -> &mut Noc {
+        &mut self.noc
+    }
+
     /// Energy account (structure accesses; NoC/memory energy is derived from
     /// the [`Noc`] counters by the runner).
     pub fn energy(&self) -> &EnergyAccount {
@@ -188,6 +194,48 @@ impl Baseline {
     #[cfg(test)]
     pub(crate) fn cfg_lat_walk(&self) -> u32 {
         self.cfg.lat.tlb_walk
+    }
+
+    /// [`Self::access`] with an optional observability probe.
+    ///
+    /// With `probe = None` this is exactly the unprobed path. With a probe,
+    /// each transaction is reported as a [`TxnEvent`]; the lookup level is
+    /// the deepest level that serviced the request (L1 hit → L1, L2 serve →
+    /// L2, everything beyond the private levels → L3).
+    pub fn access_probed(
+        &mut self,
+        a: &Access,
+        now: u64,
+        probe: Option<&mut dyn Probe>,
+    ) -> AccessResult {
+        let Some(p) = probe else {
+            return self.access(a, now);
+        };
+        let msgs0 = self.noc.messages();
+        let r = self.access(a, now);
+        let level = if r.l1_hit {
+            LookupLevel::L1
+        } else if r.serviced_by == ServicedBy::L2 {
+            LookupLevel::L2
+        } else {
+            LookupLevel::L3
+        };
+        p.txn(&TxnEvent {
+            node: a.node.index() as u8,
+            kind: match a.kind {
+                AccessKind::IFetch => TxnKind::IFetch,
+                AccessKind::Load => TxnKind::Load,
+                AccessKind::Store => TxnKind::Store,
+            },
+            level,
+            l1_hit: r.l1_hit,
+            late: r.late,
+            private_miss: r.private_miss,
+            serviced: r.serviced_by,
+            hops: self.noc.messages() - msgs0,
+            latency: r.latency,
+        });
+        r
     }
 
     /// Simulates one access issued at node-local cycle `now`.

@@ -63,11 +63,11 @@ fn bench_single_access() {
             kind: AccessKind::Load,
             vaddr: VAddr::new(0x100_0000),
         };
-        sys.access(&a, 0);
+        sys.access(&a, 0).unwrap();
         let mut now = 1u64;
         bench(&format!("access/l1_hit/{}", kind.name()), || {
             now += 1;
-            black_box(sys.access(&a, now));
+            black_box(sys.access(&a, now).unwrap());
         });
     }
 }

@@ -26,7 +26,7 @@ fn main() {
                 batch.clear();
                 warm += gen.next_batch(&mut batch);
                 for a in &batch {
-                    sys.access(a, 0);
+                    sys.access(a, 0).unwrap();
                 }
             }
             // One iteration simulates one generator batch (~48 insts).
@@ -34,7 +34,7 @@ fn main() {
                 batch.clear();
                 black_box(gen.next_batch(&mut batch));
                 for a in &batch {
-                    black_box(sys.access(a, 0));
+                    black_box(sys.access(a, 0).unwrap());
                 }
             });
         }

@@ -34,7 +34,7 @@ fn run(spec_name: &str, bypass: bool, rc: &RunConfig) -> Outcome {
         batch.clear();
         insts += gen.next_batch(&mut batch);
         for a in &batch {
-            sys.access(a, 0);
+            sys.access(a, 0).unwrap();
         }
     }
     let c = sys.raw_counters();

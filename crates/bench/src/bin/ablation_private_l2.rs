@@ -41,7 +41,7 @@ fn run(spec_name: &str, private_l2: bool, rc: &RunConfig) -> Outcome {
             measuring = true;
         }
         for a in &batch {
-            let r = sys.access(a, 0);
+            let r = sys.access(a, 0).unwrap();
             if measuring && !r.l1_hit {
                 lat_sum += r.latency as f64;
                 lat_n += 1;

@@ -28,7 +28,7 @@ fn run(spec_name: &str, dynamic_indexing: bool, rc: &RunConfig) -> (f64, f64) {
         batch.clear();
         insts += gen.next_batch(&mut batch);
         for a in &batch {
-            sys.access(a, 0);
+            sys.access(a, 0).unwrap();
         }
     }
     let warm_fills = sys.raw_counters().mem_fills;
@@ -38,7 +38,7 @@ fn run(spec_name: &str, dynamic_indexing: bool, rc: &RunConfig) -> (f64, f64) {
         batch.clear();
         insts += gen.next_batch(&mut batch);
         for a in &batch {
-            sys.access(a, 0);
+            sys.access(a, 0).unwrap();
         }
     }
     let ki = insts as f64 / 1000.0;

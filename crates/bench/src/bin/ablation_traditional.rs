@@ -37,7 +37,7 @@ fn run(spec_name: &str, traditional: bool, rc: &RunConfig) -> Outcome {
         batch.clear();
         insts += gen.next_batch(&mut batch);
         for a in &batch {
-            let r = sys.access(a, 0);
+            let r = sys.access(a, 0).unwrap();
             if !r.l1_hit {
                 lat_sum += r.latency as f64;
                 lat_n += 1;

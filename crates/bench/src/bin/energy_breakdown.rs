@@ -37,7 +37,7 @@ fn main() {
             batch.clear();
             insts += gen.next_batch(&mut batch);
             for a in &batch {
-                sys.access(a, 0);
+                sys.access(a, 0).unwrap();
             }
         }
         let ki = insts as f64 / 1000.0;

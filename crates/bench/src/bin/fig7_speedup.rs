@@ -18,7 +18,7 @@ fn main() {
     );
     rule(74);
     let mut cat = String::new();
-    for spec in catalog::all() {
+    for spec in catalog::all().expect("catalog specs are valid") {
         if spec.category.name() != cat {
             cat = spec.category.name().to_string();
             println!("-- {cat} --");

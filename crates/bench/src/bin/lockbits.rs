@@ -27,7 +27,7 @@ fn main() {
                 batch.clear();
                 insts += gen.next_batch(&mut batch);
                 for a in &batch {
-                    sys.access(a, 0);
+                    sys.access(a, 0).unwrap();
                 }
             }
             let lb = sys.lockbits();

@@ -35,7 +35,7 @@ fn main() {
     let mut memops = 0f64;
     let mut free_n = 0f64;
     let mut free_d = 0f64;
-    for spec in catalog::all() {
+    for spec in catalog::all().expect("catalog specs are valid") {
         let m = run_one(SystemKind::D2mFs, &cfg, &spec, &hc.rc);
         let ops = (m.counters.get("loads") + m.counters.get("stores")) as f64;
         memops += ops;

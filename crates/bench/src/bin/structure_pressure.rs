@@ -20,7 +20,7 @@ fn main() {
         "workload", "MD3/dir(2L)", "MD3/dir(3L)", "MD2/L2tag"
     );
     rule(56);
-    for spec in catalog::all() {
+    for spec in catalog::all().expect("catalog specs are valid") {
         let b2 = m.get(SystemKind::Base2L, &spec.name).expect("run");
         let b3 = m.get(SystemKind::Base3L, &spec.name).expect("run");
         let fs = m.get(SystemKind::D2mFs, &spec.name).expect("run");

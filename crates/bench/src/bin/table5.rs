@@ -22,7 +22,7 @@ fn main() {
     rule(58);
     let mut cat = String::new();
     let mut priv_all = Vec::new();
-    for spec in catalog::all() {
+    for spec in catalog::all().expect("catalog specs are valid") {
         if spec.category.name() != cat {
             cat = spec.category.name().to_string();
             println!("-- {cat} --");

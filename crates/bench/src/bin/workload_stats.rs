@@ -21,7 +21,7 @@ fn main() {
         "sharing"
     );
     println!("{}", "-".repeat(118));
-    for s in catalog::all() {
+    for s in catalog::all().expect("catalog specs are valid") {
         println!(
             "{:<16} {:<9} {:>8} {:>7.1} {:>7.0} {:>8} {:>7.1} {:>7} {:>8} {:>7.1} {:>6.0} {:>12}",
             s.name,

@@ -86,7 +86,11 @@ fn json_hash<T: ToJson>(value: &T) -> u64 {
 /// results, and every bench binary shares the same emission path
 /// ([`SweepResult::to_json_string`]).
 pub fn cached_sweep(spec: &SweepSpec) -> SweepResult {
-    let cache = format!("target/d2m-sweep-{}-{:016x}.json", spec.name, json_hash(spec));
+    let cache = format!(
+        "target/d2m-sweep-{}-{:016x}.json",
+        spec.name,
+        json_hash(spec)
+    );
     if let Ok(text) = std::fs::read_to_string(&cache) {
         if let Ok(res) = SweepResult::from_json_string(&text) {
             if res.cells.len() == spec.num_cells() {
@@ -118,7 +122,7 @@ pub fn full_matrix(hc: &HarnessConfig) -> MatrixResult {
         "full-matrix",
         &machine(),
         &SystemKind::ALL,
-        &catalog::all(),
+        &catalog::all().expect("catalog specs are valid"),
         &hc.rc,
     );
     let res = cached_sweep(&spec);

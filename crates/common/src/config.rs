@@ -259,7 +259,18 @@ impl MachineConfig {
 
 impl_json_struct!(CacheGeometry { sets, ways });
 impl_json_struct!(Latencies {
-    l1, md1, l2, ns_slice, noc, llc, md2, tlb2, md3, directory, mem, tlb_walk,
+    l1,
+    md1,
+    l2,
+    ns_slice,
+    noc,
+    llc,
+    md2,
+    tlb2,
+    md3,
+    directory,
+    mem,
+    tlb_walk,
 });
 impl_json_struct!(CoreModel {
     base_ipc,
@@ -271,8 +282,22 @@ impl_json_struct!(NsPolicy {
     local_alloc_pct_under_pressure,
 });
 impl_json_struct!(MachineConfig {
-    nodes, l1i, l1d, l2, llc, ns_slice, md1, md2, md3, tlb, lat, core, ns_policy,
-    md2_pruning, check_coherence, md3_lock_bits,
+    nodes,
+    l1i,
+    l1d,
+    l2,
+    llc,
+    ns_slice,
+    md1,
+    md2,
+    md3,
+    tlb,
+    lat,
+    core,
+    ns_policy,
+    md2_pruning,
+    check_coherence,
+    md3_lock_bits,
 });
 
 #[cfg(test)]

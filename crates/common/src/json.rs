@@ -136,9 +136,7 @@ impl Json {
     /// Fails when the key is missing or the value does not convert.
     pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
         match self.get(key) {
-            Some(v) => {
-                T::from_json(v).map_err(|e| JsonError(format!("field {key:?}: {}", e.0)))
-            }
+            Some(v) => T::from_json(v).map_err(|e| JsonError(format!("field {key:?}: {}", e.0))),
             None => err(format!("missing field {key:?}")),
         }
     }
@@ -159,11 +157,7 @@ impl Json {
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, pad_in) = match indent {
-            Some(w) => (
-                "\n",
-                " ".repeat(w * depth),
-                " ".repeat(w * (depth + 1)),
-            ),
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
             None => ("", String::new(), String::new()),
         };
         match self {
@@ -289,10 +283,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            err(format!(
-                "expected {:?} at byte {}",
-                b as char, self.pos
-            ))
+            err(format!("expected {:?} at byte {}", b as char, self.pos))
         }
     }
 
@@ -521,7 +512,9 @@ impl FromJson for f64 {
         match j {
             // Non-finite floats serialize as null; accept that back.
             Json::Null => Ok(f64::NAN),
-            _ => j.as_f64().ok_or_else(|| JsonError("expected number".into())),
+            _ => j
+                .as_f64()
+                .ok_or_else(|| JsonError("expected number".into())),
         }
     }
 }
@@ -682,7 +675,13 @@ mod tests {
         assert_eq!(v.get("a").unwrap().at(0).unwrap().as_u64(), Some(1));
         assert_eq!(v.get("a").unwrap().at(1).unwrap().as_f64(), Some(2.5));
         assert_eq!(
-            v.get("a").unwrap().at(2).unwrap().get("b").unwrap().as_str(),
+            v.get("a")
+                .unwrap()
+                .at(2)
+                .unwrap()
+                .get("b")
+                .unwrap()
+                .as_str(),
             Some("x\n")
         );
         assert_eq!(v.get("c"), Some(&Json::Null));
@@ -740,10 +739,7 @@ mod tests {
             name: "n".into(),
         };
         let j = d.to_json();
-        assert_eq!(
-            j.to_string_compact(),
-            r#"{"x":5,"y":1.25,"name":"n"}"#
-        );
+        assert_eq!(j.to_string_compact(), r#"{"x":5,"y":1.25,"name":"n"}"#);
         assert_eq!(Demo::from_json(&j).unwrap(), d);
         assert!(Demo::from_json(&Json::parse(r#"{"x":5}"#).unwrap()).is_err());
     }
@@ -770,10 +766,7 @@ mod tests {
         // 2.0 prints as "2": numeric kind may change across a roundtrip but
         // the value may not, and output is deterministic either way.
         assert_eq!(Json::F64(2.0).to_string_compact(), "2");
-        assert_eq!(
-            Json::parse("2").unwrap().as_f64(),
-            Some(2.0)
-        );
+        assert_eq!(Json::parse("2").unwrap().as_f64(), Some(2.0));
         assert_eq!(Json::F64(f64::NAN).to_string_compact(), "null");
     }
 }

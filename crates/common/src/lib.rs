@@ -34,6 +34,7 @@ pub mod config;
 pub mod json;
 pub mod oracle;
 pub mod outcome;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 
@@ -42,5 +43,6 @@ pub use config::MachineConfig;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use oracle::VersionOracle;
 pub use outcome::{AccessResult, ServicedBy};
+pub use probe::{LookupLevel, NoopProbe, Probe, RecordingProbe, TxnEvent, TxnKind};
 pub use rng::{derive_stream_seed, SimRng};
 pub use stats::Counters;

@@ -26,6 +26,35 @@ pub enum ServicedBy {
 }
 
 impl ServicedBy {
+    /// All endpoints, in a stable report order.
+    pub const ALL: [ServicedBy; 7] = [
+        ServicedBy::L1,
+        ServicedBy::L2,
+        ServicedBy::LocalNs,
+        ServicedBy::RemoteNs,
+        ServicedBy::Llc,
+        ServicedBy::RemoteNode,
+        ServicedBy::Mem,
+    ];
+
+    /// Stable display name (used as a JSON key by the probe reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServicedBy::L1 => "l1",
+            ServicedBy::L2 => "l2",
+            ServicedBy::LocalNs => "ns_local",
+            ServicedBy::RemoteNs => "ns_remote",
+            ServicedBy::Llc => "llc",
+            ServicedBy::RemoteNode => "remote_node",
+            ServicedBy::Mem => "mem",
+        }
+    }
+
+    /// Position in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// True when the data came from some LLC slice (near or far) — the
     /// denominator of Table IV's near-side hit ratios.
     pub fn is_llc_level(self) -> bool {

@@ -130,7 +130,11 @@ impl SimRng {
         if self.pos + 4 > 64 {
             self.refill();
         }
-        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
         self.pos += 4;
         v
     }

@@ -175,6 +175,19 @@ impl Histogram {
         (&self.buckets, self.overflow)
     }
 
+    /// Merges another histogram into this one, bucket by bucket. The bucket
+    /// vector grows to the wider of the two, so merging never loses samples
+    /// to overflow that the source had resolved.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, b) in other.buckets.iter().enumerate() {
+            self.buckets[i] += b;
+        }
+        self.overflow += other.overflow;
+    }
+
     /// Approximate quantile using bucket upper bounds.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
@@ -196,6 +209,28 @@ impl Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Self::new(16)
+    }
+}
+
+impl crate::json::ToJson for Histogram {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Obj(vec![
+            (
+                "buckets".to_string(),
+                Json::Arr(self.buckets.iter().map(|&b| Json::U64(b)).collect()),
+            ),
+            ("overflow".to_string(), Json::U64(self.overflow)),
+        ])
+    }
+}
+
+impl crate::json::FromJson for Histogram {
+    fn from_json(json: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        Ok(Self {
+            buckets: json.field::<Vec<u64>>("buckets")?,
+            overflow: json.field::<u64>("overflow")?,
+        })
     }
 }
 
@@ -267,6 +302,98 @@ mod tests {
         let (_, overflow) = h.buckets();
         assert_eq!(overflow, 1); // 100_000 exceeds 2^8
         assert!(h.quantile(0.5) <= 8);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(8);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        let (buckets, overflow) = h.buckets();
+        assert!(buckets.iter().all(|&b| b == 0));
+        assert_eq!(overflow, 0);
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let mut h = Histogram::new(8);
+        h.record(5); // 2^2 ≤ 5 < 2^3 → bucket 2
+        assert_eq!(h.count(), 1);
+        let (buckets, overflow) = h.buckets();
+        assert_eq!(buckets[2], 1);
+        assert_eq!(overflow, 0);
+        assert_eq!(h.quantile(0.5), 8); // bucket 2's upper bound
+        assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // 0 and 1 land in bucket 0; each exact power of two opens its bucket;
+        // `2^i - 1` stays in the previous one.
+        let mut h = Histogram::new(8);
+        h.record(0);
+        h.record(1);
+        let (b, _) = h.buckets();
+        assert_eq!(b[0], 2);
+
+        let mut h = Histogram::new(8);
+        for i in 1..8u32 {
+            h.record(1u64 << i); // first value of bucket i
+            h.record((1u64 << i) - 1); // last value of bucket i-1
+        }
+        let (b, overflow) = h.buckets();
+        assert_eq!(overflow, 0);
+        assert_eq!(b[0], 1); // the single `2^1 - 1 = 1`
+        for i in 1..7usize {
+            assert_eq!(b[i], 2, "bucket {i}: opener + closer of the next");
+        }
+        assert_eq!(b[7], 1); // 2^7 recorded, 2^8 - 1 never was
+                             // The first out-of-range value overflows.
+        h.record(1u64 << 8);
+        let (_, overflow) = h.buckets();
+        assert_eq!(overflow, 1);
+    }
+
+    #[test]
+    fn histogram_u64_max_overflows() {
+        let mut h = Histogram::new(16);
+        h.record(u64::MAX); // index 63 ≥ 16 buckets
+        assert_eq!(h.count(), 1);
+        let (buckets, overflow) = h.buckets();
+        assert!(buckets.iter().all(|&b| b == 0));
+        assert_eq!(overflow, 1);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_grows_and_adds() {
+        let mut a = Histogram::new(4);
+        a.record(3);
+        a.record(1 << 10); // overflows the 4-bucket histogram
+        let mut b = Histogram::new(12);
+        b.record(3);
+        b.record(1 << 10); // resolved by the 12-bucket histogram
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        let (buckets, overflow) = a.buckets();
+        assert_eq!(buckets.len(), 12);
+        assert_eq!(buckets[1], 2);
+        assert_eq!(buckets[10], 1);
+        assert_eq!(overflow, 1);
+    }
+
+    #[test]
+    fn histogram_json_roundtrip() {
+        use crate::json::{FromJson, ToJson};
+        let mut h = Histogram::new(6);
+        h.record(1);
+        h.record(40);
+        h.record(u64::MAX);
+        let j = h.to_json();
+        let back = Histogram::from_json(&j).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(j.to_string_compact(), back.to_json().to_string_compact());
     }
 
     #[test]

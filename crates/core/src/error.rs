@@ -1,0 +1,82 @@
+//! Typed protocol errors.
+//!
+//! A corrupted location pointer (LI) used to abort the whole process via
+//! `panic!`; transactions now propagate a [`ProtocolError`] instead, so a
+//! single bad cell fails its sweep cell (reported in the sweep result) while
+//! the rest of a multi-hour sweep keeps running.
+
+use crate::li::Li;
+
+/// A protocol-level failure on the transaction path, caused by metadata
+/// state that violates the deterministic-LI invariants beyond what the
+/// soft-fallback paths (`determinism_errors`) can absorb.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolError {
+    /// An LI that should name an LLC slot named something else entirely.
+    NotAnLlcLocation {
+        /// The offending location pointer.
+        li: Li,
+    },
+    /// An LLC LI whose slice or way index is outside the configured
+    /// geometry (e.g. a near-side pointer on a far-side system).
+    LlcSlotOutOfRange {
+        /// The offending location pointer.
+        li: Li,
+        /// Number of LLC slices in this system.
+        slices: usize,
+        /// Ways per LLC set in this system.
+        ways: usize,
+    },
+    /// An LI of a class that cannot occur where it was found.
+    UnexpectedLi {
+        /// The offending location pointer.
+        li: Li,
+        /// Where it was found.
+        context: &'static str,
+    },
+    /// Region metadata in a state the protocol cannot act on.
+    CorruptMetadata {
+        /// What was corrupt.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::NotAnLlcLocation { li } => {
+                write!(f, "{li:?} is not an LLC location")
+            }
+            ProtocolError::LlcSlotOutOfRange { li, slices, ways } => write!(
+                f,
+                "{li:?} is outside the LLC geometry ({slices} slices x {ways} ways)"
+            ),
+            ProtocolError::UnexpectedLi { li, context } => {
+                write!(f, "unexpected LI {li:?}: {context}")
+            }
+            ProtocolError::CorruptMetadata { context } => {
+                write!(f, "corrupt metadata: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = ProtocolError::NotAnLlcLocation { li: Li::Mem };
+        assert!(e.to_string().contains("Mem"));
+        let e = ProtocolError::LlcSlotOutOfRange {
+            li: Li::LlcFs { way: 40 },
+            slices: 1,
+            ways: 32,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1 slices") && s.contains("32 ways"), "{s}");
+    }
+}

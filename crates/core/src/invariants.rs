@@ -214,9 +214,11 @@ impl D2mSystem {
                             let set = self.l1_set(line);
                             match self.arr(n, kind).at(set, way as usize) {
                                 Some((k, dl)) if k == line.raw() && dl.serveable() => {}
-                                _ => return Err(format!(
+                                _ => {
+                                    return Err(format!(
                                     "node {n} LI for {line:?} names L1 way {way} without the line"
-                                )),
+                                ))
+                                }
                             }
                         }
                         Li::L2 { way } => {
@@ -228,13 +230,16 @@ impl D2mSystem {
                             let set = self.l2_set(line);
                             match self.arr(n, ArrKind::L2).at(set, way as usize) {
                                 Some((k, dl)) if k == line.raw() && dl.serveable() => {}
-                                _ => return Err(format!(
+                                _ => {
+                                    return Err(format!(
                                     "node {n} LI for {line:?} names L2 way {way} without the line"
-                                )),
+                                ))
+                                }
                             }
                         }
                         Li::LlcFs { .. } | Li::LlcNs { .. } => {
-                            let (slice, way) = self.llc_slice_way(*li);
+                            let (slice, way) =
+                                self.llc_slice_way(*li).map_err(|e| e.to_string())?;
                             let set = self.llc_set(line, slice);
                             match self.llc[slice].at(set, way) {
                                 Some((k, dl)) if k == line.raw() && dl.serveable() => {}
@@ -262,9 +267,11 @@ impl D2mSystem {
                                         ));
                                     }
                                 }
-                                None => return Err(format!(
+                                None => {
+                                    return Err(format!(
                                     "node {n} LI for {line:?} names node {m} which lacks the line"
-                                )),
+                                ))
+                                }
                             }
                         }
                         Li::Mem => {}
@@ -299,7 +306,7 @@ impl D2mSystem {
                 let line = region.line(crate::meta_line_offset(off));
                 match *li {
                     Li::LlcFs { .. } | Li::LlcNs { .. } => {
-                        let (slice, way) = self.llc_slice_way(*li);
+                        let (slice, way) = self.llc_slice_way(*li).map_err(|e| e.to_string())?;
                         let set = self.llc_set(line, slice);
                         match self.llc[slice].at(set, way) {
                             Some((k, dl)) if k == line.raw() && dl.master => {}
@@ -496,7 +503,8 @@ impl D2mSystem {
                     let line = LineAddr::new(key);
                     match dl.rp {
                         Li::LlcFs { .. } | Li::LlcNs { .. } => {
-                            let (slice, way) = self.llc_slice_way(dl.rp);
+                            let (slice, way) =
+                                self.llc_slice_way(dl.rp).map_err(|e| e.to_string())?;
                             let set = self.llc_set(line, slice);
                             match self.llc[slice].at(set, way) {
                                 Some((k, _)) if k == key => {}

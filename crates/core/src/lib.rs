@@ -34,7 +34,7 @@
 //! let mut batch = Vec::new();
 //! gen.next_batch(&mut batch);
 //! for a in &batch {
-//!     sys.access(a, 0);
+//!     sys.access(a, 0).unwrap();
 //! }
 //! assert_eq!(sys.coherence_errors(), 0);
 //! sys.check_invariants().unwrap();
@@ -42,6 +42,7 @@
 
 pub mod counters;
 pub mod data;
+pub mod error;
 pub mod invariants;
 pub mod li;
 pub mod lockbits;
@@ -53,6 +54,7 @@ pub mod system;
 mod tests;
 
 pub use counters::{D2mCounters, ProtocolEvents};
+pub use error::ProtocolError;
 pub use li::{Li, LiEncoding};
 pub use lockbits::LockBits;
 pub use meta::{classify_pb, RegionClass};

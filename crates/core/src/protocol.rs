@@ -20,18 +20,81 @@
 
 use d2m_common::addr::{LineAddr, NodeId, RegionAddr, LINES_PER_REGION};
 use d2m_common::outcome::{AccessResult, ServicedBy};
+use d2m_common::probe::{LookupLevel, Probe, TxnEvent, TxnKind};
 use d2m_energy::EnergyEvent;
 use d2m_noc::{Endpoint, MsgClass};
 use d2m_workloads::{Access, AccessKind};
 
 use crate::data::DataLine;
+use crate::error::ProtocolError;
 use crate::li::Li;
 use crate::meta::{Md1Entry, Md1Side, Md2Entry, Md3Entry, RegionClass, TrackingPtr};
 use crate::system::{ArrKind, D2mSystem, MdRef};
 
 impl D2mSystem {
     /// Simulates one access issued at node-local cycle `now`.
-    pub fn access(&mut self, a: &Access, now: u64) -> AccessResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] when corrupted metadata (an LI naming a
+    /// location that cannot exist) makes the transaction unactionable. The
+    /// system's state is no longer trustworthy after an error; callers
+    /// should fail the run, not retry.
+    pub fn access(&mut self, a: &Access, now: u64) -> Result<AccessResult, ProtocolError> {
+        self.access_probed(a, now, None)
+    }
+
+    /// [`Self::access`] with an optional observability probe.
+    ///
+    /// With `probe = None` this is exactly the unprobed path (one branch);
+    /// with a probe, each completed transaction is reported as a
+    /// [`TxnEvent`] carrying the deepest metadata level the lookup reached
+    /// (derived from the MD2/MD3 access counters), the servicing endpoint,
+    /// and the number of on-chip messages the transaction generated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::access`]; no event is reported for a failed
+    /// transaction.
+    pub fn access_probed(
+        &mut self,
+        a: &Access,
+        now: u64,
+        probe: Option<&mut dyn Probe>,
+    ) -> Result<AccessResult, ProtocolError> {
+        let Some(p) = probe else {
+            return self.access_inner(a, now);
+        };
+        let msgs0 = self.noc.messages();
+        let md2_0 = self.ctr.md2_accesses;
+        let md3_0 = self.ctr.md3_accesses;
+        let r = self.access_inner(a, now)?;
+        let level = if self.ctr.md3_accesses > md3_0 {
+            LookupLevel::L3
+        } else if self.ctr.md2_accesses > md2_0 {
+            LookupLevel::L2
+        } else {
+            LookupLevel::L1
+        };
+        p.txn(&TxnEvent {
+            node: a.node.index() as u8,
+            kind: match a.kind {
+                AccessKind::IFetch => TxnKind::IFetch,
+                AccessKind::Load => TxnKind::Load,
+                AccessKind::Store => TxnKind::Store,
+            },
+            level,
+            l1_hit: r.l1_hit,
+            late: r.late,
+            private_miss: r.private_miss,
+            serviced: r.serviced_by,
+            hops: self.noc.messages() - msgs0,
+            latency: r.latency,
+        });
+        Ok(r)
+    }
+
+    fn access_inner(&mut self, a: &Access, now: u64) -> Result<AccessResult, ProtocolError> {
         self.ctr.accesses += 1;
         match a.kind {
             AccessKind::IFetch => self.ctr.ifetches += 1,
@@ -44,7 +107,7 @@ impl D2mSystem {
         let is_store = a.kind.is_store();
         let off = usize::from(a.vaddr.region_offset());
 
-        let (md, region, md_hit, mut latency) = self.resolve_metadata(node, is_i, a);
+        let (md, region, md_hit, mut latency) = self.resolve_metadata(node, is_i, a)?;
         let private = self.md_private(node, md);
         let line = region.line(crate::meta_line_offset(off));
         latency += self.cfg.lat.l1;
@@ -81,7 +144,7 @@ impl D2mSystem {
                 self.ctr.l1d_hits += 1;
             }
             if is_store {
-                latency += self.write_hit(node, line, off, md, private, set, way as usize);
+                latency += self.write_hit(node, line, off, md, private, set, way as usize)?;
             } else if self.cfg.check_coherence {
                 if let Err(e) = self.oracle.check_load(line, slot.version) {
                     self.ctr.coherence_errors += 1;
@@ -89,13 +152,13 @@ impl D2mSystem {
                 }
             }
             self.arr_mut(node, kind).touch(set, way as usize);
-            return AccessResult {
+            return Ok(AccessResult {
                 latency,
                 l1_hit: true,
                 late,
                 serviced_by: ServicedBy::L1,
                 private_miss: None,
-            };
+            });
         }
 
         self.miss_path(
@@ -116,7 +179,7 @@ impl D2mSystem {
         md_hit: bool,
         mut latency: u32,
         now: u64,
-    ) -> AccessResult {
+    ) -> Result<AccessResult, ProtocolError> {
         if is_i {
             self.ctr.l1i_misses += 1;
         } else {
@@ -133,7 +196,7 @@ impl D2mSystem {
 
         let li = self.li_get(node, md, off);
         let (lat, serviced, dl) = if is_store {
-            let r = self.write_miss(node, line, off, md, private, li);
+            let r = self.write_miss(node, line, off, md, private, li)?;
             if md_hit {
                 if private {
                     self.ev.b_write_private += 1;
@@ -143,7 +206,7 @@ impl D2mSystem {
             }
             r
         } else {
-            let r = self.read_miss(node, is_i, line, off, li);
+            let r = self.read_miss(node, is_i, line, off, li)?;
             if md_hit {
                 self.ev.a_read_md_hit += 1;
                 match r.1 {
@@ -168,18 +231,18 @@ impl D2mSystem {
 
         let mut dl = dl;
         dl.ready_at = now + latency as u64;
-        let way = self.install_l1(node, is_i, line, dl);
+        let way = self.install_l1(node, is_i, line, dl)?;
         self.li_set(node, md, off, Li::L1 { way: way as u8 });
 
         self.ctr.miss_latency_sum += latency as u64;
         self.ctr.miss_count += 1;
-        AccessResult {
+        Ok(AccessResult {
             latency,
             l1_hit: false,
             late: false,
             serviced_by: serviced,
             private_miss: Some(private),
-        }
+        })
     }
 
     // ================= metadata resolution =================
@@ -192,7 +255,7 @@ impl D2mSystem {
         node: usize,
         is_i: bool,
         a: &Access,
-    ) -> (MdRef, RegionAddr, bool, u32) {
+    ) -> Result<(MdRef, RegionAddr, bool, u32), ProtocolError> {
         if self.feats.traditional_l1 {
             return self.resolve_metadata_traditional(node, is_i, a);
         }
@@ -209,7 +272,7 @@ impl D2mSystem {
             self.ctr.md1_hits += 1;
             md1.touch(set1, way1);
             let region = md1.at(set1, way1).map(|(_, e)| e.region).expect("occupied");
-            return (
+            return Ok((
                 MdRef::Md1 {
                     is_i,
                     set: set1,
@@ -218,7 +281,7 @@ impl D2mSystem {
                 region,
                 true,
                 0,
-            );
+            ));
         }
 
         // MD1 miss: TLB2 translation + MD2 lookup.
@@ -239,13 +302,13 @@ impl D2mSystem {
             (true, set2, way2)
         } else {
             // Case D: fetch region metadata from MD3.
-            let (private, li, dlat) = self.md3_transaction(node, region);
+            let (private, li, dlat) = self.md3_transaction(node, region)?;
             lat += dlat;
-            let (s, w) = self.install_md2(node, region, private, li, is_i);
+            let (s, w) = self.install_md2(node, region, private, li, is_i)?;
             (false, s, w)
         };
-        let mdref = self.activate_md1(node, is_i, key1, region, set2, way2);
-        (mdref, region, md_hit, lat)
+        let mdref = self.activate_md1(node, is_i, key1, region, set2, way2)?;
+        Ok((mdref, region, md_hit, lat))
     }
 
     /// §III-A traditional front end: every access pays TLB1 + one L1 tag
@@ -256,7 +319,7 @@ impl D2mSystem {
         node: usize,
         is_i: bool,
         a: &Access,
-    ) -> (MdRef, RegionAddr, bool, u32) {
+    ) -> Result<(MdRef, RegionAddr, bool, u32), ProtocolError> {
         self.energy.record(EnergyEvent::Tlb, 1);
         self.energy.record(EnergyEvent::L1TagWay, 1);
         let (paddr, tlb_hit) = self.nodes[node].tlb2.access(a.asid, a.vaddr);
@@ -274,9 +337,9 @@ impl D2mSystem {
             md2.touch(set2, way2);
             (true, set2, way2)
         } else {
-            let (private, li, dlat) = self.md3_transaction(node, region);
+            let (private, li, dlat) = self.md3_transaction(node, region)?;
             lat += dlat + self.cfg.lat.md2;
-            let (s, w) = self.install_md2(node, region, private, li, is_i);
+            let (s, w) = self.install_md2(node, region, private, li, is_i)?;
             (false, s, w)
         };
         // MD1 is never used in this mode, so the MD2 entry is always
@@ -304,13 +367,13 @@ impl D2mSystem {
                 if let Li::L1 { way: lway } = li {
                     let line = region.line(crate::meta_line_offset(off));
                     let lset = self.l1_set(line);
-                    self.evict_data_line(node, old_kind, lset, lway as usize, false);
+                    self.evict_data_line(node, old_kind, lset, lway as usize, false)?;
                 }
             }
         }
         let (_, e2m) = self.nodes[node].md2.at_mut(set2, way2).expect("occupied");
         e2m.is_icache = is_i;
-        (
+        Ok((
             MdRef::Md2 {
                 set: set2,
                 way: way2,
@@ -318,7 +381,7 @@ impl D2mSystem {
             region,
             md_hit,
             lat,
-        )
+        ))
     }
 
     /// Moves a region's active LI array into the MD1 (D2D activation),
@@ -331,7 +394,7 @@ impl D2mSystem {
         region: RegionAddr,
         md2_set: usize,
         md2_way: usize,
-    ) -> MdRef {
+    ) -> Result<MdRef, ProtocolError> {
         let e2 = *self.nodes[node]
             .md2
             .at(md2_set, md2_way)
@@ -373,7 +436,7 @@ impl D2mSystem {
                 if let Li::L1 { way: lway } = li {
                     let line = region.line(crate::meta_line_offset(off));
                     let lset = self.l1_set(line);
-                    self.evict_data_line(node, old_kind, lset, lway as usize, false);
+                    self.evict_data_line(node, old_kind, lset, lway as usize, false)?;
                 }
             }
         }
@@ -430,11 +493,11 @@ impl D2mSystem {
             way: way1 as u8,
         });
         e2.is_icache = is_i;
-        MdRef::Md1 {
+        Ok(MdRef::Md1 {
             is_i,
             set: set1,
             way: way1,
-        }
+        })
     }
 
     /// Case D: the blocking ReadMM transaction at MD3 (paper appendix D1–D4).
@@ -443,7 +506,7 @@ impl D2mSystem {
         &mut self,
         node: usize,
         region: RegionAddr,
-    ) -> (bool, [Li; LINES_PER_REGION], u32) {
+    ) -> Result<(bool, [Li; LINES_PER_REGION], u32), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let mut lat = self.noc.send(MsgClass::ReadMM, me, Endpoint::FarSide);
         lat += self.cfg.lat.md3;
@@ -492,7 +555,7 @@ impl D2mSystem {
                     );
                     self.ctr.md2_accesses += 1;
                     self.energy.record(EnergyEvent::Md2, 1);
-                    let converted = self.convert_owner_lis(owner, region);
+                    let converted = self.convert_owner_lis(owner, region)?;
                     lat += self.noc.send(
                         MsgClass::MdReply,
                         Endpoint::Node(NodeId::new(owner as u8)),
@@ -511,7 +574,11 @@ impl D2mSystem {
                     e3.pb |= 1 << node;
                     (false, entry.li)
                 }
-                RegionClass::Uncached => unreachable!("resident entry"),
+                RegionClass::Uncached => {
+                    return Err(ProtocolError::CorruptMetadata {
+                        context: "resident MD3 entry classified as Uncached",
+                    })
+                }
             }
         } else {
             // D4: uncached → private. Allocate an MD3 entry.
@@ -520,7 +587,7 @@ impl D2mSystem {
                 u64::from(e.pb.count_ones()) * 64 + e.llc_resident_lines()
             });
             if self.md3.at(set3, way3).is_some() {
-                self.evict_md3_entry(set3, way3);
+                self.evict_md3_entry(set3, way3)?;
             }
             self.md3.insert_at(
                 set3,
@@ -535,7 +602,7 @@ impl D2mSystem {
         };
         lat += self.noc.send(MsgClass::MdReply, Endpoint::FarSide, me);
         self.noc.send(MsgClass::Done, me, Endpoint::FarSide);
-        (private, li, lat)
+        Ok((private, li, lat))
     }
 
     /// D2 helper: the previous private owner converts its active LIs into
@@ -543,7 +610,11 @@ impl D2mSystem {
     /// become `Node(owner)`; its replicas contribute their RP (the true
     /// master location) so determinism survives later silent replica drops.
     #[allow(clippy::needless_range_loop)]
-    fn convert_owner_lis(&mut self, owner: usize, region: RegionAddr) -> [Li; LINES_PER_REGION] {
+    fn convert_owner_lis(
+        &mut self,
+        owner: usize,
+        region: RegionAddr,
+    ) -> Result<[Li; LINES_PER_REGION], ProtocolError> {
         let md = self
             .find_active_md(owner, region)
             .expect("PB bit implies an MD2 entry");
@@ -568,7 +639,7 @@ impl D2mSystem {
                                     Li::L1 { .. } | Li::L2 { .. } => {
                                         Li::Node(NodeId::new(owner as u8))
                                     }
-                                    global => self.resolve_replica_chain(line, global),
+                                    global => self.resolve_replica_chain(line, global)?,
                                 }
                             }
                         }
@@ -590,7 +661,7 @@ impl D2mSystem {
                                     Li::L1 { .. } | Li::L2 { .. } => {
                                         Li::Node(NodeId::new(owner as u8))
                                     }
-                                    global => self.resolve_replica_chain(line, global),
+                                    global => self.resolve_replica_chain(line, global)?,
                                 }
                             }
                         }
@@ -604,32 +675,32 @@ impl D2mSystem {
                 Li::L2 { .. } => Li::Node(NodeId::new(owner as u8)),
                 // A direct pointer into an LLC slot may name the owner's
                 // local replica; resolve it to the true master.
-                other => self.resolve_replica_chain(line, other),
+                other => self.resolve_replica_chain(line, other)?,
             };
         }
-        out
+        Ok(out)
     }
 
     /// Follows a chain of LLC replica slots to the true master location
     /// (a master slot, `Mem`, or a remote node).
-    fn resolve_replica_chain(&self, line: LineAddr, start: Li) -> Li {
+    fn resolve_replica_chain(&self, line: LineAddr, start: Li) -> Result<Li, ProtocolError> {
         let mut cur = start;
         for _ in 0..4 {
             match cur {
                 Li::LlcFs { .. } | Li::LlcNs { .. } => {
-                    let (slice, way) = self.llc_slice_way(cur);
+                    let (slice, way) = self.llc_slice_way(cur)?;
                     let set = self.llc_set(line, slice);
                     match self.llc[slice].at(set, way) {
                         Some((k, dl)) if k == line.raw() && !dl.master && !dl.stale => {
                             cur = dl.rp;
                         }
-                        _ => return cur,
+                        _ => return Ok(cur),
                     }
                 }
-                _ => return cur,
+                _ => return Ok(cur),
             }
         }
-        cur
+        Ok(cur)
     }
 
     /// Whether `region` is currently an instruction-side region at `node`.
@@ -651,7 +722,7 @@ impl D2mSystem {
         private: bool,
         li: [Li; LINES_PER_REGION],
         is_i: bool,
-    ) -> (usize, usize) {
+    ) -> Result<(usize, usize), ProtocolError> {
         let md2 = &self.nodes[node].md2;
         let set = md2.set_index(region.raw());
         // Region-aware replacement: prefer inactive regions with few
@@ -660,7 +731,7 @@ impl D2mSystem {
             e.node_resident_lines() + if e.tp.is_some() { 64 } else { 0 }
         });
         if self.nodes[node].md2.at(set, way).is_some() {
-            self.evict_md2_entry(node, set, way, true);
+            self.evict_md2_entry(node, set, way, true)?;
         }
         self.nodes[node].md2.insert_at(
             set,
@@ -675,7 +746,7 @@ impl D2mSystem {
                 reuse: 0,
             },
         );
-        (set, way)
+        Ok((set, way))
     }
 
     // ================= data serves =================
@@ -689,7 +760,7 @@ impl D2mSystem {
         line: LineAddr,
         _off: usize,
         li: Li,
-    ) -> (u32, ServicedBy, DataLine) {
+    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
         match li {
             Li::L2 { way } if self.feats.private_l2 => {
                 self.serve_l2_local(node, line, way as usize)
@@ -715,8 +786,8 @@ impl D2mSystem {
         is_i: bool,
         line: LineAddr,
         li: Li,
-    ) -> (u32, ServicedBy, DataLine) {
-        let (slice, way) = self.llc_slice_way(li);
+    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
+        let (slice, way) = self.llc_slice_way(li)?;
         let set = self.llc_set(line, slice);
         let slot = match self.llc[slice].at(set, way) {
             Some((k, dl)) if k == line.raw() && dl.serveable() => *dl,
@@ -772,7 +843,7 @@ impl D2mSystem {
         if self.feats.replication && slice != node && (is_i || was_mru) {
             rp = self.replicate_local(node, line, slot.version, li);
         }
-        (lat, serviced, DataLine::replica(slot.version, 0, rp))
+        Ok((lat, serviced, DataLine::replica(slot.version, 0, rp)))
     }
 
     /// Serves a read from the node's own private L2 (optional level): the
@@ -784,7 +855,7 @@ impl D2mSystem {
         node: usize,
         line: LineAddr,
         way: usize,
-    ) -> (u32, ServicedBy, DataLine) {
+    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
         let set = self.l2_set(line);
         let slot = match self.arr(node, ArrKind::L2).at(set, way) {
             Some((k, dl)) if k == line.raw() && dl.serveable() => *dl,
@@ -811,7 +882,7 @@ impl D2mSystem {
             self.arr_mut(node, ArrKind::L2).remove(set, way);
             DataLine::replica(slot.version, 0, slot.rp)
         };
-        (lat, ServicedBy::L2, dl)
+        Ok((lat, ServicedBy::L2, dl))
     }
 
     /// Serves a read from memory. The request travels to the far side where
@@ -825,7 +896,7 @@ impl D2mSystem {
         node: usize,
         line: LineAddr,
         is_i: bool,
-    ) -> (u32, ServicedBy, DataLine) {
+    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let region = line.region();
         let off = usize::from(line.region_offset());
@@ -841,7 +912,7 @@ impl D2mSystem {
                 .expect("occupied");
             if tracked.is_llc() {
                 // Redirect to the existing LLC master.
-                let (slice, way) = self.llc_slice_way(tracked);
+                let (slice, way) = self.llc_slice_way(tracked)?;
                 let set = self.llc_set(line, slice);
                 if let Some((k, dl)) = self.llc[slice].at(set, way) {
                     if k == line.raw() && dl.serveable() {
@@ -864,7 +935,7 @@ impl D2mSystem {
                         } else {
                             ServicedBy::RemoteNs
                         };
-                        return (lat, serviced, DataLine::replica(version, 0, tracked));
+                        return Ok((lat, serviced, DataLine::replica(version, 0, tracked)));
                     }
                 }
             }
@@ -881,7 +952,7 @@ impl D2mSystem {
             // and inclusion still holds for everything else.
             self.ctr.bypassed_fills += 1;
             lat += self.noc.send(MsgClass::DataReply, Endpoint::FarSide, me);
-            return (lat, ServicedBy::Mem, DataLine::replica(version, 0, Li::Mem));
+            return Ok((lat, ServicedBy::Mem, DataLine::replica(version, 0, Li::Mem)));
         }
         let slot_li = self.alloc_llc_master(node, line, version);
         // Record the new master in MD3 unless the region is private there
@@ -895,7 +966,7 @@ impl D2mSystem {
         }
         // Data to the requester (and implicitly to the slice on the same
         // path when the slice is the requester's own).
-        let (slice, _) = self.llc_slice_way(slot_li);
+        let (slice, _) = self.llc_slice_way(slot_li)?;
         let slice_ep = self.llc_endpoint(slice);
         if slice_ep != me && slice_ep != Endpoint::FarSide {
             self.noc
@@ -903,7 +974,7 @@ impl D2mSystem {
         }
         lat += self.noc.send(MsgClass::DataReply, Endpoint::FarSide, me);
         let _ = is_i;
-        (lat, ServicedBy::Mem, DataLine::replica(version, 0, slot_li))
+        Ok((lat, ServicedBy::Mem, DataLine::replica(version, 0, slot_li)))
     }
 
     /// Case A with a remote master node: the request goes directly to the
@@ -914,7 +985,7 @@ impl D2mSystem {
         node: usize,
         line: LineAddr,
         m: NodeId,
-    ) -> (u32, ServicedBy, DataLine) {
+    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let remote = Endpoint::Node(m);
         let mut lat = self.noc.send(MsgClass::ReadReq, me, remote);
@@ -932,17 +1003,17 @@ impl D2mSystem {
                 let version = dl.version;
                 lat += self.noc.send(MsgClass::DataReply, remote, me);
                 self.ctr.remote_node_reads += 1;
-                (
+                Ok((
                     lat,
                     ServicedBy::RemoteNode,
                     DataLine::replica(version, 0, Li::Node(m)),
-                )
+                ))
             }
             None => {
                 self.ctr.determinism_errors += 1;
                 debug_assert!(false, "remote master node does not hold the line");
-                let (l2, s, dl) = self.serve_memory(node, line, false);
-                (lat + l2, s, dl)
+                let (l2, s, dl) = self.serve_memory(node, line, false)?;
+                Ok((lat + l2, s, dl))
             }
         }
     }
@@ -960,7 +1031,7 @@ impl D2mSystem {
         private: bool,
         set: usize,
         way: usize,
-    ) -> u32 {
+    ) -> Result<u32, ProtocolError> {
         let slot = *self
             .arr(node, ArrKind::L1D)
             .at(set, way)
@@ -973,17 +1044,17 @@ impl D2mSystem {
                 // Master without exclusivity (replicas exist): shared-region
                 // invalidation round (case C without a data fetch).
                 self.ev.c_write_shared += 1;
-                let (l, _victim, _v, _s) = self.case_c_invalidate(node, line, off, false);
+                let (l, _victim, _v, _s) = self.case_c_invalidate(node, line, off, false)?;
                 lat += l;
             }
         } else if private {
             // Case B at hit granularity: silent upgrade (paper §IV-A).
             self.ev.silent_upgrades += 1;
-            rp = self.collapse_chain(node, slot.rp, line);
+            rp = self.collapse_chain(node, slot.rp, line)?;
         } else {
             // Shared-region upgrade: full case C (data already local).
             self.ev.c_write_shared += 1;
-            let (l, victim, _v, _s) = self.case_c_invalidate(node, line, off, false);
+            let (l, victim, _v, _s) = self.case_c_invalidate(node, line, off, false)?;
             lat += l;
             // Our own slice replica (if the chain had one) would otherwise
             // survive with stale data.
@@ -998,7 +1069,7 @@ impl D2mSystem {
                 _ => Li::Mem,
             };
             if self.feats.private_l2 {
-                rp = self.alloc_l2_victim_slot(node, line, rp);
+                rp = self.alloc_l2_victim_slot(node, line, rp)?;
             } else if rp == Li::Mem {
                 rp = self.alloc_llc_victim_slot(node, line);
             }
@@ -1011,7 +1082,7 @@ impl D2mSystem {
         dl.dirty = true;
         dl.version = version;
         dl.rp = rp;
-        lat
+        Ok(lat)
     }
 
     /// Store miss: acquire the line with write permission (cases B and C).
@@ -1023,10 +1094,10 @@ impl D2mSystem {
         _md: MdRef,
         private: bool,
         li: Li,
-    ) -> (u32, ServicedBy, DataLine) {
+    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
         if private {
             // Case B: direct read from the master, silent promotion.
-            let (lat, serviced, fetched) = self.read_miss(node, false, line, off, li);
+            let (lat, serviced, fetched) = self.read_miss(node, false, line, off, li)?;
             if self.cfg.check_coherence {
                 if let Err(e) = self.oracle.check_load(line, fetched.version) {
                     self.ctr.coherence_errors += 1;
@@ -1041,22 +1112,22 @@ impl D2mSystem {
                 dl.excl = true;
                 dl.dirty = true;
                 dl.version = version;
-                return (lat, serviced, dl);
+                return Ok((lat, serviced, dl));
             }
-            let downstream = self.collapse_chain(node, fetched.rp, line);
+            let downstream = self.collapse_chain(node, fetched.rp, line)?;
             let victim = if self.feats.private_l2 {
-                self.alloc_l2_victim_slot(node, line, downstream)
+                self.alloc_l2_victim_slot(node, line, downstream)?
             } else if downstream == Li::Mem {
                 self.alloc_llc_victim_slot(node, line)
             } else {
                 downstream
             };
             let version = self.oracle.on_store(line);
-            (lat, serviced, DataLine::master(version, 0, true, victim))
+            Ok((lat, serviced, DataLine::master(version, 0, true, victim)))
         } else {
             // Case C: blocking MD3 round with invalidations.
             let (lat, victim, fetched_version, serviced) =
-                self.case_c_invalidate(node, line, off, true);
+                self.case_c_invalidate(node, line, off, true)?;
             self.purge_local_slice_replica(node, line);
             if self.cfg.check_coherence {
                 if let Err(e) = self.oracle.check_load(line, fetched_version) {
@@ -1067,13 +1138,13 @@ impl D2mSystem {
             let victim = match (victim, self.feats.private_l2) {
                 (v, true) => {
                     let downstream = v.unwrap_or(Li::Mem);
-                    self.alloc_l2_victim_slot(node, line, downstream)
+                    self.alloc_l2_victim_slot(node, line, downstream)?
                 }
                 (Some(v), false) if v != Li::Mem => v,
                 _ => self.alloc_llc_victim_slot(node, line),
             };
             let version = self.oracle.on_store(line);
-            (lat, serviced, DataLine::master(version, 0, true, victim))
+            Ok((lat, serviced, DataLine::master(version, 0, true, victim)))
         }
     }
 
@@ -1087,7 +1158,7 @@ impl D2mSystem {
         line: LineAddr,
         off: usize,
         fetch_data: bool,
-    ) -> (u32, Option<Li>, u64, ServicedBy) {
+    ) -> Result<(u32, Option<Li>, u64, ServicedBy), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let region = line.region();
         let mut lat = self.noc.send(MsgClass::ReadEx, me, Endpoint::FarSide);
@@ -1111,7 +1182,7 @@ impl D2mSystem {
         let mut master_node: Option<usize> = None;
         match old {
             Li::LlcFs { .. } | Li::LlcNs { .. } => {
-                let (slice, way) = self.llc_slice_way(old);
+                let (slice, way) = self.llc_slice_way(old)?;
                 let set = self.llc_set(line, slice);
                 match self.llc[slice].at_mut(set, way) {
                     Some((k, dl)) if k == line.raw() => {
@@ -1188,7 +1259,12 @@ impl D2mSystem {
                     serviced = ServicedBy::RemoteNode;
                 }
             }
-            Li::L1 { .. } | Li::L2 { .. } => unreachable!("MD3 LIs are global"),
+            Li::L1 { .. } | Li::L2 { .. } => {
+                return Err(ProtocolError::UnexpectedLi {
+                    li: old,
+                    context: "MD3 LIs are global, found a node-local LI",
+                })
+            }
         }
 
         // --- invalidate the PB nodes (region-grain multicast) ---
@@ -1229,9 +1305,9 @@ impl D2mSystem {
         // MD2 pruning heuristic (paper §IV-A): nodes that received an
         // invalidation for a region they no longer use drop their MD2 entry.
         for t in prune_candidates {
-            self.md2_prune_check(t, region);
+            self.md2_prune_check(t, region)?;
         }
-        (lat, victim, version, serviced)
+        Ok((lat, victim, version, serviced))
     }
 
     /// Removes every copy of `line` at node `t` (L1 arrays and, for NS
@@ -1280,32 +1356,38 @@ impl D2mSystem {
 
     /// §IV-A pruning: drop `t`'s MD2 entry for `region` if it tracks nothing
     /// locally and is not MD1-active.
-    fn md2_prune_check(&mut self, t: usize, region: RegionAddr) {
+    fn md2_prune_check(&mut self, t: usize, region: RegionAddr) -> Result<(), ProtocolError> {
         if !self.cfg.md2_pruning {
-            return;
+            return Ok(());
         }
         let md2 = &self.nodes[t].md2;
         let set = md2.set_index(region.raw());
         let Some(way) = md2.way_of(set, region.raw()) else {
-            return;
+            return Ok(());
         };
         let e = md2.at(set, way).map(|(_, e)| *e).expect("occupied");
         if e.tp.is_none() && e.node_resident_lines() == 0 {
-            self.evict_md2_entry(t, set, way, true);
+            self.evict_md2_entry(t, set, way, true)?;
             self.ctr.md2_prunes += 1;
         }
+        Ok(())
     }
 
     /// Collapses a replica RP chain for a silent write upgrade: local
     /// replica slots along the chain are dropped, the final master slot is
     /// demoted to a stale victim, and its location is returned as the new
     /// master's RP (or `Mem`).
-    fn collapse_chain(&mut self, _node: usize, start: Li, line: LineAddr) -> Li {
+    fn collapse_chain(
+        &mut self,
+        _node: usize,
+        start: Li,
+        line: LineAddr,
+    ) -> Result<Li, ProtocolError> {
         let mut cur = start;
         for _ in 0..4 {
             match cur {
                 Li::LlcFs { .. } | Li::LlcNs { .. } => {
-                    let (slice, way) = self.llc_slice_way(cur);
+                    let (slice, way) = self.llc_slice_way(cur)?;
                     let set = self.llc_set(line, slice);
                     match self.llc[slice].at(set, way) {
                         Some((k, dl)) if k == line.raw() => {
@@ -1313,11 +1395,11 @@ impl D2mSystem {
                                 let (_, dl) = self.llc[slice].at_mut(set, way).expect("occupied");
                                 dl.master = false;
                                 dl.stale = true;
-                                return cur;
+                                return Ok(cur);
                             }
                             if dl.stale {
                                 // Already a victim slot reserved for us.
-                                return cur;
+                                return Ok(cur);
                             }
                             let next = dl.rp;
                             self.llc[slice].remove(set, way);
@@ -1326,7 +1408,7 @@ impl D2mSystem {
                         _ => {
                             self.ctr.determinism_errors += 1;
                             debug_assert!(false, "RP chain pointed at a wrong slot");
-                            return Li::Mem;
+                            return Ok(Li::Mem);
                         }
                     }
                 }
@@ -1339,10 +1421,10 @@ impl D2mSystem {
                                 let (_, dl) = arr.at_mut(set, way as usize).expect("occupied");
                                 dl.master = false;
                                 dl.stale = true;
-                                return cur;
+                                return Ok(cur);
                             }
                             if dl.stale {
-                                return cur;
+                                return Ok(cur);
                             }
                             let next = dl.rp;
                             self.arr_mut(_node, ArrKind::L2).remove(set, way as usize);
@@ -1351,20 +1433,20 @@ impl D2mSystem {
                         _ => {
                             self.ctr.determinism_errors += 1;
                             debug_assert!(false, "RP chain pointed at a wrong L2 slot");
-                            return Li::Mem;
+                            return Ok(Li::Mem);
                         }
                     }
                 }
-                Li::Mem | Li::Invalid => return Li::Mem,
+                Li::Mem | Li::Invalid => return Ok(Li::Mem),
                 Li::Node(_) | Li::L1 { .. } | Li::L2 { .. } => {
                     // Private regions cannot have remote masters; node-local
                     // RP chains do not occur without an L2.
                     debug_assert!(false, "unexpected RP chain element {cur:?}");
-                    return Li::Mem;
+                    return Ok(Li::Mem);
                 }
             }
         }
-        Li::Mem
+        Ok(Li::Mem)
     }
 
     // ================= placement & replication =================
@@ -1437,25 +1519,34 @@ impl D2mSystem {
     }
 
     /// Frees (evicting if needed) an L2 slot for `line` at `node`.
-    fn alloc_l2_slot(&mut self, node: usize, line: LineAddr) -> (usize, usize) {
+    fn alloc_l2_slot(
+        &mut self,
+        node: usize,
+        line: LineAddr,
+    ) -> Result<(usize, usize), ProtocolError> {
         let set = self.l2_set(line);
         if let Some(existing) = self.arr(node, ArrKind::L2).way_of(set, line.raw()) {
-            self.evict_data_line(node, ArrKind::L2, set, existing, false);
-            return (set, existing);
+            self.evict_data_line(node, ArrKind::L2, set, existing, false)?;
+            return Ok((set, existing));
         }
         let way = self.arr(node, ArrKind::L2).victim_way(set);
         if self.arr(node, ArrKind::L2).at(set, way).is_some() {
-            self.evict_data_line(node, ArrKind::L2, set, way, false);
+            self.evict_data_line(node, ArrKind::L2, set, way, false)?;
         }
-        (set, way)
+        Ok((set, way))
     }
 
     /// Allocates a stale L2 victim slot for a new L1-held master (the local
     /// analogue of [`Self::alloc_llc_victim_slot`]). `downstream` is where a
     /// master landing here will itself evict to (the Figure 2 chain:
     /// L1 → L2 victim slot → LLC victim slot → memory).
-    fn alloc_l2_victim_slot(&mut self, node: usize, line: LineAddr, downstream: Li) -> Li {
-        let (set, way) = self.alloc_l2_slot(node, line);
+    fn alloc_l2_victim_slot(
+        &mut self,
+        node: usize,
+        line: LineAddr,
+        downstream: Li,
+    ) -> Result<Li, ProtocolError> {
+        let (set, way) = self.alloc_l2_slot(node, line)?;
         self.nodes[node].l2.as_mut().expect("L2 enabled").insert_at(
             set,
             way,
@@ -1470,7 +1561,7 @@ impl D2mSystem {
                 rp: downstream,
             },
         );
-        Li::L2 { way: way as u8 }
+        Ok(Li::L2 { way: way as u8 })
     }
 
     fn pick_slice(&mut self, node: usize) -> usize {
@@ -1514,15 +1605,21 @@ impl D2mSystem {
 
     /// Installs `dl` for `line` in `node`'s L1, evicting the victim first
     /// (cases E/F or a silent replica drop). Returns the way used.
-    fn install_l1(&mut self, node: usize, is_i: bool, line: LineAddr, dl: DataLine) -> usize {
+    fn install_l1(
+        &mut self,
+        node: usize,
+        is_i: bool,
+        line: LineAddr,
+        dl: DataLine,
+    ) -> Result<usize, ProtocolError> {
         let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
         let set = self.l1_set(line);
         let way = self.arr(node, kind).victim_way(set);
         if self.arr(node, kind).at(set, way).is_some() {
-            self.evict_data_line(node, kind, set, way, false);
+            self.evict_data_line(node, kind, set, way, false)?;
         }
         self.arr_mut(node, kind).insert_at(set, way, line.raw(), dl);
-        way
+        Ok(way)
     }
 
     /// Evicts one L1 line: silent for replicas (LI := RP), copy-to-victim
@@ -1536,10 +1633,10 @@ impl D2mSystem {
         set: usize,
         way: usize,
         quiet: bool,
-    ) {
+    ) -> Result<(), ProtocolError> {
         let (key, slot) = match self.arr_mut(node, kind).remove(set, way) {
             Some(x) => x,
-            None => return,
+            None => return Ok(()),
         };
         let line = LineAddr::new(key);
         let region = line.region();
@@ -1561,12 +1658,12 @@ impl D2mSystem {
                         holder.rp = slot.rp;
                     }
                 }
-                return;
+                return Ok(());
             }
             // With the optional L2, clean L1 victims demote into the L2
             // (victim caching) instead of being dropped.
             if self.feats.private_l2 && kind != ArrKind::L2 && !quiet {
-                let (s2, w2) = self.alloc_l2_slot(node, line);
+                let (s2, w2) = self.alloc_l2_slot(node, line)?;
                 self.nodes[node].l2.as_mut().expect("L2 enabled").insert_at(
                     s2,
                     w2,
@@ -1578,7 +1675,7 @@ impl D2mSystem {
                         self.li_set(node, md, off, Li::L2 { way: w2 as u8 });
                     }
                 }
-                return;
+                return Ok(());
             }
             // Silent replica drop: the LI falls back to the master location.
             if let Some(md) = md {
@@ -1586,7 +1683,7 @@ impl D2mSystem {
                     self.li_set(node, md, off, slot.rp);
                 }
             }
-            return;
+            return Ok(());
         }
 
         debug_assert!(slot.dirty, "node-held masters are always dirty");
@@ -1615,7 +1712,7 @@ impl D2mSystem {
         // Copy the data to the victim location named by the RP.
         let victim = match rp_target {
             Li::LlcFs { .. } | Li::LlcNs { .. } => {
-                let (slice, vway) = self.llc_slice_way(rp_target);
+                let (slice, vway) = self.llc_slice_way(rp_target)?;
                 let vset = self.llc_set(line, slice);
                 match self.llc[slice].at_mut(vset, vway) {
                     Some((k, vdl)) if k == line.raw() => {
@@ -1683,11 +1780,8 @@ impl D2mSystem {
             if !quiet {
                 self.ev.e_evict_private += 1;
             }
-            if quiet {
-                return;
-            }
             // Private regions: no other node can reference us; done.
-            return;
+            return Ok(());
         }
 
         // Case F: shared region — repoint everyone tracking Node(self).
@@ -1710,6 +1804,7 @@ impl D2mSystem {
                 .send(MsgClass::Ack, Endpoint::Node(NodeId::new(t as u8)), me);
         }
         self.noc.send(MsgClass::Done, me, Endpoint::FarSide);
+        Ok(())
     }
 
     /// Evicts one LLC slot (replacement): masters fall back to memory with a
@@ -1759,9 +1854,15 @@ impl D2mSystem {
     /// Evicts a node's MD2 entry: metadata inclusion forces out every line
     /// the region tracks inside the node, then the final LIs spill to MD3
     /// and the node's PB bit clears.
-    pub(crate) fn evict_md2_entry(&mut self, node: usize, set: usize, way: usize, notify: bool) {
+    pub(crate) fn evict_md2_entry(
+        &mut self,
+        node: usize,
+        set: usize,
+        way: usize,
+        notify: bool,
+    ) -> Result<(), ProtocolError> {
         let Some((key, entry)) = self.nodes[node].md2.at(set, way).map(|(k, e)| (k, *e)) else {
-            return;
+            return Ok(());
         };
         let region = RegionAddr::new(key);
         self.ctr.md2_evictions += 1;
@@ -1799,11 +1900,11 @@ impl D2mSystem {
                     Li::L1 { way: lway } => {
                         let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
                         let lset = self.l1_set(line);
-                        self.evict_data_line(node, kind, lset, lway as usize, !notify);
+                        self.evict_data_line(node, kind, lset, lway as usize, !notify)?;
                     }
                     Li::L2 { way: lway } if self.feats.private_l2 => {
                         let lset = self.l2_set(line);
-                        self.evict_data_line(node, ArrKind::L2, lset, lway as usize, !notify);
+                        self.evict_data_line(node, ArrKind::L2, lset, lway as usize, !notify)?;
                     }
                     Li::LlcNs { node: n, way: lway }
                         if n.index() == node && self.feats.near_side =>
@@ -1857,14 +1958,19 @@ impl D2mSystem {
                 }
             }
         }
+        Ok(())
     }
 
     /// Evicts one MD3 entry: a global purge of the region (every PB node's
     /// MD2 entry plus all LLC-resident lines go; dirty data drains to
     /// memory).
-    pub(crate) fn evict_md3_entry(&mut self, set3: usize, way3: usize) {
+    pub(crate) fn evict_md3_entry(
+        &mut self,
+        set3: usize,
+        way3: usize,
+    ) -> Result<(), ProtocolError> {
         let Some((key, entry)) = self.md3.at(set3, way3).map(|(k, e)| (k, *e)) else {
-            return;
+            return Ok(());
         };
         let region = RegionAddr::new(key);
         self.ctr.md3_evictions += 1;
@@ -1879,7 +1985,7 @@ impl D2mSystem {
             let md2 = &self.nodes[t].md2;
             let s2 = md2.set_index(region.raw());
             if let Some(w2) = md2.way_of(s2, region.raw()) {
-                self.evict_md2_entry(t, s2, w2, false);
+                self.evict_md2_entry(t, s2, w2, false)?;
             }
             self.noc.send(
                 MsgClass::Ack,
@@ -1903,6 +2009,7 @@ impl D2mSystem {
             }
         }
         self.md3.remove(set3, way3);
+        Ok(())
     }
 
     /// Bumps the bypass predictor's fill counter for `region` at `node`;

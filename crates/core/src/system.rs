@@ -16,6 +16,7 @@ use d2m_noc::{Endpoint, Noc};
 
 use crate::counters::{D2mCounters, ProtocolEvents};
 use crate::data::DataLine;
+use crate::error::ProtocolError;
 use crate::li::{Li, LiEncoding};
 use crate::lockbits::LockBits;
 use crate::meta::{Md1Entry, Md2Entry, Md3Entry};
@@ -244,6 +245,11 @@ impl D2mSystem {
         &self.noc
     }
 
+    /// Mutable interconnect accumulator (e.g. to enable traffic recording).
+    pub fn noc_mut(&mut self) -> &mut Noc {
+        &mut self.noc
+    }
+
     /// Energy account (structure accesses; NoC/memory energy is derived from
     /// the [`Noc`] counters by the runner).
     pub fn energy(&self) -> &EnergyAccount {
@@ -351,15 +357,26 @@ impl D2mSystem {
 
     /// Maps an LLC-pointing LI to `(slice, way)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `li` does not point at the LLC.
-    pub(crate) fn llc_slice_way(&self, li: Li) -> (usize, usize) {
-        match li {
+    /// Returns [`ProtocolError::NotAnLlcLocation`] when `li` does not point
+    /// at the LLC at all, and [`ProtocolError::LlcSlotOutOfRange`] when it
+    /// names a slice or way outside this system's geometry (e.g. a
+    /// near-side pointer leaked into a far-side system). Either means the
+    /// metadata is corrupt; callers propagate the error so the transaction
+    /// fails instead of aborting the process.
+    pub(crate) fn llc_slice_way(&self, li: Li) -> Result<(usize, usize), ProtocolError> {
+        let (slice, way) = match li {
             Li::LlcFs { way } => (0, way as usize),
             Li::LlcNs { node, way } => (node.index(), way as usize),
-            _ => panic!("{li:?} is not an LLC location"),
+            _ => return Err(ProtocolError::NotAnLlcLocation { li }),
+        };
+        let slices = self.llc.len();
+        let ways = self.llc.first().map_or(0, SetAssoc::ways);
+        if slice >= slices || way >= ways {
+            return Err(ProtocolError::LlcSlotOutOfRange { li, slices, ways });
         }
+        Ok((slice, way))
     }
 
     /// The LI naming slot `(slice, way)` under the current encoding.
@@ -657,10 +674,40 @@ mod tests {
         let cfg = MachineConfig::default();
         let ns = D2mSystem::new(&cfg, D2mVariant::NearSide);
         let li = ns.li_of_llc(3, 2);
-        assert_eq!(ns.llc_slice_way(li), (3, 2));
+        assert_eq!(ns.llc_slice_way(li), Ok((3, 2)));
         let fs = D2mSystem::new(&cfg, D2mVariant::FarSide);
         let li = fs.li_of_llc(0, 17);
-        assert_eq!(fs.llc_slice_way(li), (0, 17));
+        assert_eq!(fs.llc_slice_way(li), Ok((0, 17)));
+    }
+
+    #[test]
+    fn llc_slice_way_rejects_corrupt_lis() {
+        let cfg = MachineConfig::default();
+        let fs = D2mSystem::new(&cfg, D2mVariant::FarSide);
+        assert_eq!(
+            fs.llc_slice_way(Li::Mem),
+            Err(ProtocolError::NotAnLlcLocation { li: Li::Mem })
+        );
+        // A near-side pointer on a far-side system indexes a slice that does
+        // not exist — previously an out-of-bounds panic deep in the vec.
+        let bad = Li::LlcNs {
+            node: NodeId::new(5),
+            way: 1,
+        };
+        assert!(matches!(
+            fs.llc_slice_way(bad),
+            Err(ProtocolError::LlcSlotOutOfRange { slices: 1, .. })
+        ));
+        // A way beyond the slice geometry is caught too.
+        let ns = D2mSystem::new(&cfg, D2mVariant::NearSide);
+        let wide = Li::LlcNs {
+            node: NodeId::new(0),
+            way: 63,
+        };
+        assert!(matches!(
+            ns.llc_slice_way(wide),
+            Err(ProtocolError::LlcSlotOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use d2m_common::addr::{Asid, NodeId, VAddr};
 use d2m_common::config::MachineConfig;
 use d2m_common::outcome::ServicedBy;
-use d2m_noc::MsgClass;
 use d2m_common::rng::SimRng;
+use d2m_noc::MsgClass;
 use d2m_workloads::{catalog, Access, AccessKind, TraceGen};
 
 use crate::system::{D2mSystem, D2mVariant};
@@ -53,11 +53,15 @@ fn all_variants() -> [D2mVariant; 3] {
 fn cold_read_fills_from_memory_and_hits_after() {
     for v in all_variants() {
         let mut sys = D2mSystem::new(&cfg(), v);
-        let r1 = sys.access(&acc(0, AccessKind::Load, 0x100_0000), 0);
+        let r1 = sys
+            .access(&acc(0, AccessKind::Load, 0x100_0000), 0)
+            .unwrap();
         assert!(!r1.l1_hit, "{v:?}");
         assert_eq!(r1.serviced_by, ServicedBy::Mem, "{v:?}");
         assert_eq!(r1.private_miss, Some(true), "first touch is private");
-        let r2 = sys.access(&acc(0, AccessKind::Load, 0x100_0000), 100_000);
+        let r2 = sys
+            .access(&acc(0, AccessKind::Load, 0x100_0000), 100_000)
+            .unwrap();
         assert!(r2.l1_hit, "{v:?}");
         assert!(r2.latency < r1.latency);
         sys.check_invariants()
@@ -69,13 +73,16 @@ fn cold_read_fills_from_memory_and_hits_after() {
 fn case_d4_then_d1_then_d2_transitions() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
     // Node 0 touches a region: D4 (uncached → private).
-    sys.access(&acc(0, AccessKind::Load, 0x200_0000), 0);
+    sys.access(&acc(0, AccessKind::Load, 0x200_0000), 0)
+        .unwrap();
     assert_eq!(sys.protocol_events().d4_uncached_to_private, 1);
     // Node 1 touches the same region: D2 (private → shared).
-    sys.access(&acc(1, AccessKind::Load, 0x200_0000), 0);
+    sys.access(&acc(1, AccessKind::Load, 0x200_0000), 0)
+        .unwrap();
     assert_eq!(sys.protocol_events().d2_private_to_shared, 1);
     // Node 2: D3 (shared → shared).
-    sys.access(&acc(2, AccessKind::Load, 0x200_0040), 0);
+    sys.access(&acc(2, AccessKind::Load, 0x200_0040), 0)
+        .unwrap();
     assert_eq!(sys.protocol_events().d3_shared_to_shared, 1);
     assert_eq!(sys.coherence_errors(), 0);
     sys.check_invariants().unwrap();
@@ -84,16 +91,20 @@ fn case_d4_then_d1_then_d2_transitions() {
 #[test]
 fn private_write_is_directory_free() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
-    sys.access(&acc(0, AccessKind::Load, 0x300_0000), 0);
+    sys.access(&acc(0, AccessKind::Load, 0x300_0000), 0)
+        .unwrap();
     let md3_before = sys.raw_counters().md3_accesses;
     // Write miss in the (private) region: case B — no MD3 transaction.
-    let r = sys.access(&acc(0, AccessKind::Store, 0x300_0040), 0);
+    let r = sys
+        .access(&acc(0, AccessKind::Store, 0x300_0040), 0)
+        .unwrap();
     assert!(!r.l1_hit);
     assert_eq!(r.private_miss, Some(true));
     assert_eq!(sys.raw_counters().md3_accesses, md3_before);
     assert_eq!(sys.protocol_events().b_write_private, 1);
     // Write hit on the line we just read: silent upgrade.
-    sys.access(&acc(0, AccessKind::Store, 0x300_0000), 100_000);
+    sys.access(&acc(0, AccessKind::Store, 0x300_0000), 100_000)
+        .unwrap();
     assert_eq!(sys.protocol_events().silent_upgrades, 1);
     assert_eq!(sys.raw_counters().md3_accesses, md3_before);
     sys.check_invariants().unwrap();
@@ -104,15 +115,15 @@ fn shared_write_invalidates_and_repoints() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
     let va = 0x400_0000;
     for n in 0..4 {
-        sys.access(&acc(n, AccessKind::Load, va), 0);
+        sys.access(&acc(n, AccessKind::Load, va), 0).unwrap();
     }
     let inv_before = sys.raw_counters().invalidations_received;
     // Node 0 writes: case C.
-    sys.access(&acc(0, AccessKind::Store, va), 100_000);
+    sys.access(&acc(0, AccessKind::Store, va), 100_000).unwrap();
     assert!(sys.protocol_events().c_write_shared >= 1);
     assert!(sys.raw_counters().invalidations_received > inv_before);
     // Node 2 re-reads: the LI must name node 0 (direct-to-master).
-    let r = sys.access(&acc(2, AccessKind::Load, va), 200_000);
+    let r = sys.access(&acc(2, AccessKind::Load, va), 200_000).unwrap();
     assert!(!r.l1_hit);
     assert_eq!(r.serviced_by, ServicedBy::RemoteNode);
     assert_eq!(sys.coherence_errors(), 0);
@@ -124,9 +135,12 @@ fn region_grain_false_invalidations_occur() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
     // Node 1 caches a *different* line of the region than node 0 writes:
     // the PB multicast still invalidates node 1 (a false invalidation).
-    sys.access(&acc(1, AccessKind::Load, 0x500_0040), 0);
-    sys.access(&acc(0, AccessKind::Load, 0x500_0000), 0);
-    sys.access(&acc(0, AccessKind::Store, 0x500_0000), 100_000);
+    sys.access(&acc(1, AccessKind::Load, 0x500_0040), 0)
+        .unwrap();
+    sys.access(&acc(0, AccessKind::Load, 0x500_0000), 0)
+        .unwrap();
+    sys.access(&acc(0, AccessKind::Store, 0x500_0000), 100_000)
+        .unwrap();
     assert!(sys.raw_counters().false_invalidations >= 1);
     sys.check_invariants().unwrap();
 }
@@ -137,11 +151,11 @@ fn reads_after_remote_write_see_latest_value_everywhere() {
         let mut sys = D2mSystem::new(&cfg(), v);
         let va = 0x600_0000;
         for n in 0..8 {
-            sys.access(&acc(n, AccessKind::Load, va), 0);
+            sys.access(&acc(n, AccessKind::Load, va), 0).unwrap();
         }
-        sys.access(&acc(3, AccessKind::Store, va), 100_000);
+        sys.access(&acc(3, AccessKind::Store, va), 100_000).unwrap();
         for n in 0..8 {
-            sys.access(&acc(n, AccessKind::Load, va), 200_000);
+            sys.access(&acc(n, AccessKind::Load, va), 200_000).unwrap();
         }
         assert_eq!(sys.coherence_errors(), 0, "{v:?}");
         sys.check_invariants()
@@ -155,11 +169,14 @@ fn ns_local_allocation_and_hits() {
     // Fill a line, evict it from L1 by conflicting lines, then re-read:
     // it should hit in the node's own NS slice (pressure is equal → local).
     let base = 0x700_0000u64;
-    sys.access(&acc(0, AccessKind::Load, base), 0);
+    sys.access(&acc(0, AccessKind::Load, base), 0).unwrap();
     for i in 1..=10u64 {
-        sys.access(&acc(0, AccessKind::Load, base + i * 64 * 64), 0);
+        sys.access(&acc(0, AccessKind::Load, base + i * 64 * 64), 0)
+            .unwrap();
     }
-    let r = sys.access(&acc(0, AccessKind::Load, base), 1_000_000);
+    let r = sys
+        .access(&acc(0, AccessKind::Load, base), 1_000_000)
+        .unwrap();
     assert!(!r.l1_hit);
     assert_eq!(
         r.serviced_by,
@@ -175,17 +192,20 @@ fn replication_pulls_instructions_local() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::NearSideRepl);
     let code = 0x10_0000u64;
     // Node 0 faults the code in; the slice allocation lands somewhere.
-    sys.access(&acc(0, AccessKind::IFetch, code), 0);
+    sys.access(&acc(0, AccessKind::IFetch, code), 0).unwrap();
     // Node 1 fetches the same line: wherever it was, after the first access
     // the replication heuristic must keep a local copy, so a second fetch
     // after L1 eviction hits the local slice.
-    sys.access(&acc(1, AccessKind::IFetch, code), 0);
+    sys.access(&acc(1, AccessKind::IFetch, code), 0).unwrap();
     // Dynamic indexing scrambles sets per region, so flush the L1-I with a
     // broad sweep rather than a single-set conflict pattern.
     for i in 1..=1500u64 {
-        sys.access(&acc(1, AccessKind::IFetch, code + 0x10_0000 + i * 64), 0);
+        sys.access(&acc(1, AccessKind::IFetch, code + 0x10_0000 + i * 64), 0)
+            .unwrap();
     }
-    let r = sys.access(&acc(1, AccessKind::IFetch, code), 1_000_000);
+    let r = sys
+        .access(&acc(1, AccessKind::IFetch, code), 1_000_000)
+        .unwrap();
     assert!(!r.l1_hit);
     assert!(
         matches!(r.serviced_by, ServicedBy::LocalNs),
@@ -201,17 +221,20 @@ fn master_eviction_private_updates_li_to_victim() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
     let va = 0x800_0000u64;
     // Install the region first so the store is a case-B (MD-hit) write miss.
-    sys.access(&acc(0, AccessKind::Load, va + 0x40), 0);
-    sys.access(&acc(0, AccessKind::Store, va), 0);
+    sys.access(&acc(0, AccessKind::Load, va + 0x40), 0).unwrap();
+    sys.access(&acc(0, AccessKind::Store, va), 0).unwrap();
     assert!(sys.protocol_events().b_write_private >= 1);
     // Evict the dirty master from L1 with conflicting lines (case E).
     for i in 1..=10u64 {
-        sys.access(&acc(0, AccessKind::Load, va + i * 64 * 64), 0);
+        sys.access(&acc(0, AccessKind::Load, va + i * 64 * 64), 0)
+            .unwrap();
     }
     assert!(sys.protocol_events().e_evict_private >= 1);
     // Re-read: data must come back (from its LLC victim slot) with the
     // written version.
-    let r = sys.access(&acc(0, AccessKind::Load, va), 1_000_000);
+    let r = sys
+        .access(&acc(0, AccessKind::Load, va), 1_000_000)
+        .unwrap();
     assert!(!r.l1_hit);
     assert_eq!(sys.coherence_errors(), 0);
     sys.check_invariants().unwrap();
@@ -221,16 +244,18 @@ fn master_eviction_private_updates_li_to_victim() {
 fn master_eviction_shared_runs_case_f() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
     let va = 0x900_0000u64;
-    sys.access(&acc(1, AccessKind::Load, va), 0);
-    sys.access(&acc(0, AccessKind::Store, va), 0); // node 0 becomes master (case C)
+    sys.access(&acc(1, AccessKind::Load, va), 0).unwrap();
+    sys.access(&acc(0, AccessKind::Store, va), 0).unwrap(); // node 0 becomes master (case C)
     let f_before = sys.protocol_events().f_evict_shared;
     for i in 1..=10u64 {
-        sys.access(&acc(0, AccessKind::Load, va + i * 64 * 64), 0);
+        sys.access(&acc(0, AccessKind::Load, va + i * 64 * 64), 0)
+            .unwrap();
     }
     assert!(sys.protocol_events().f_evict_shared > f_before);
     assert!(sys.noc().count(MsgClass::EvictReq) >= 1);
     // Node 1 re-reads: must see node 0's write from the victim location.
-    sys.access(&acc(1, AccessKind::Load, va), 1_000_000);
+    sys.access(&acc(1, AccessKind::Load, va), 1_000_000)
+        .unwrap();
     assert_eq!(sys.coherence_errors(), 0);
     sys.check_invariants().unwrap();
 }
@@ -241,18 +266,20 @@ fn md2_pruning_reprivatizes_regions() {
     let va = 0xa00_0000u64;
     // Node 1 reads one line of the region, then node 1's copy is evicted so
     // its MD2 entry tracks nothing locally.
-    sys.access(&acc(1, AccessKind::Load, va + 0x40), 0);
+    sys.access(&acc(1, AccessKind::Load, va + 0x40), 0).unwrap();
     for i in 1..=10u64 {
-        sys.access(&acc(1, AccessKind::Load, va + 0x40 + i * 64 * 64), 0);
+        sys.access(&acc(1, AccessKind::Load, va + 0x40 + i * 64 * 64), 0)
+            .unwrap();
     }
     // Node 0 writes a line: the invalidation reaches node 1, whose entry is
     // pruneable if its MD1 is no longer active. Run enough other regions
     // through node 1's MD1 to deactivate it first.
     for i in 1..=40u64 {
-        sys.access(&acc(1, AccessKind::Load, 0xb00_0000 + i * 1024 * 16), 0);
+        sys.access(&acc(1, AccessKind::Load, 0xb00_0000 + i * 1024 * 16), 0)
+            .unwrap();
     }
-    sys.access(&acc(0, AccessKind::Load, va), 0);
-    sys.access(&acc(0, AccessKind::Store, va), 100_000);
+    sys.access(&acc(0, AccessKind::Load, va), 0).unwrap();
+    sys.access(&acc(0, AccessKind::Store, va), 100_000).unwrap();
     assert!(sys.raw_counters().md2_prunes >= 1, "pruning should trigger");
     sys.check_invariants().unwrap();
 }
@@ -272,7 +299,7 @@ fn server_style_disjoint_asids_stay_private() {
                 },
                 vaddr: VAddr::new(0x100_0000 + i * 64),
             };
-            sys.access(&a, 0);
+            sys.access(&a, 0).unwrap();
         }
     }
     let c = sys.raw_counters();
@@ -300,7 +327,8 @@ fn dynamic_indexing_spreads_strided_conflicts() {
                 sys.access(
                     &acc(0, AccessKind::Load, 0x4_0000_0000 + i * stride),
                     rep * 1000,
-                );
+                )
+                .unwrap();
             }
         }
         sys.raw_counters().mem_fills
@@ -325,7 +353,7 @@ fn pkmo_cases_a_and_b_dominate() {
             batch.clear();
             gen.next_batch(&mut batch);
             for a in &batch {
-                sys.access(a, 0);
+                sys.access(a, 0).unwrap();
             }
         }
     };
@@ -353,7 +381,7 @@ fn tiny_config_survives_heavy_eviction_storms() {
             batch.clear();
             gen.next_batch(&mut batch);
             for a in &batch {
-                sys.access(a, i * 10);
+                sys.access(a, i * 10).unwrap();
             }
         }
         assert!(sys.raw_counters().md2_evictions > 0, "{v:?}");
@@ -376,7 +404,7 @@ fn deterministic_simulation() {
             batch.clear();
             gen.next_batch(&mut batch);
             for a in &batch {
-                sys.access(a, 0);
+                sys.access(a, 0).unwrap();
             }
         }
         sys.counters()
@@ -388,11 +416,11 @@ fn deterministic_simulation() {
 fn code_and_data_sides_are_separate() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
     let va = 0xc00_0000u64;
-    sys.access(&acc(0, AccessKind::IFetch, va), 0);
+    sys.access(&acc(0, AccessKind::IFetch, va), 0).unwrap();
     assert_eq!(sys.raw_counters().l1i_misses, 1);
     // A data load of the same line misses in L1-D and moves the region's
     // active metadata to the data side.
-    let r = sys.access(&acc(0, AccessKind::Load, va), 0);
+    let r = sys.access(&acc(0, AccessKind::Load, va), 0).unwrap();
     assert!(!r.l1_hit);
     assert_eq!(sys.raw_counters().l1d_misses, 1);
     sys.check_invariants().unwrap();
@@ -404,11 +432,13 @@ fn md1_miss_md2_hit_path() {
     // Touch enough distinct regions to overflow the 128-entry MD1 but not
     // the 4K-entry MD2.
     for i in 0..400u64 {
-        sys.access(&acc(0, AccessKind::Load, 0x1_000_0000 + i * 1024), 0);
+        sys.access(&acc(0, AccessKind::Load, 0x1_000_0000 + i * 1024), 0)
+            .unwrap();
     }
     // Revisit the first region: MD1 misses, MD2 hits.
     let h_before = sys.raw_counters().md2_hits;
-    sys.access(&acc(0, AccessKind::Load, 0x1_000_0000), 1_000_000);
+    sys.access(&acc(0, AccessKind::Load, 0x1_000_0000), 1_000_000)
+        .unwrap();
     assert!(sys.raw_counters().md2_hits > h_before);
     sys.check_invariants().unwrap();
 }
@@ -425,13 +455,7 @@ fn random_accesses_preserve_all_invariants() {
         let mut rng = SimRng::from_label(0xD2A7_0001, &format!("ops-{case}"));
         let n_ops = 200 + rng.below(200) as usize;
         let ops: Vec<(u8, u8, u64)> = (0..n_ops)
-            .map(|_| {
-                (
-                    rng.below(8) as u8,
-                    rng.below(3) as u8,
-                    rng.below(48),
-                )
-            })
+            .map(|_| (rng.below(8) as u8, rng.below(3) as u8, rng.below(48)))
             .collect();
         let mut systems: Vec<D2mSystem> = all_variants()
             .into_iter()
@@ -463,14 +487,9 @@ fn random_accesses_preserve_all_invariants() {
                 } else {
                     va
                 };
-                sys.access(&acc(*node, kind, va), i as u64 * 7);
+                sys.access(&acc(*node, kind, va), i as u64 * 7).unwrap();
             }
-            assert_eq!(
-                sys.coherence_errors(),
-                0,
-                "case {case} {:?}",
-                sys.variant()
-            );
+            assert_eq!(sys.coherence_errors(), 0, "case {case} {:?}", sys.variant());
             assert_eq!(
                 sys.determinism_errors(),
                 0,
@@ -490,7 +509,7 @@ fn random_accesses_preserve_all_invariants() {
 /// the whole catalog with a seed derived per workload.
 #[test]
 fn catalog_traces_stay_coherent() {
-    for (widx, spec) in catalog::all().iter().enumerate() {
+    for (widx, spec) in catalog::all().unwrap().iter().enumerate() {
         let seed = (widx as u64) % 50;
         let mut sys = D2mSystem::new(&small_cfg(), D2mVariant::NearSideRepl);
         let mut gen = TraceGen::new(spec, 8, seed);
@@ -499,7 +518,7 @@ fn catalog_traces_stay_coherent() {
             batch.clear();
             gen.next_batch(&mut batch);
             for a in &batch {
-                sys.access(a, 0);
+                sys.access(a, 0).unwrap();
             }
         }
         assert_eq!(sys.coherence_errors(), 0, "{}", spec.name);
@@ -520,7 +539,7 @@ fn dbg_pkmo_breakdown() {
         batch.clear();
         gen.next_batch(&mut batch);
         for a in &batch {
-            sys.access(a, 0);
+            sys.access(a, 0).unwrap();
         }
     }
     let w = *sys.protocol_events();
@@ -529,7 +548,7 @@ fn dbg_pkmo_breakdown() {
         batch.clear();
         gen.next_batch(&mut batch);
         for a in &batch {
-            sys.access(a, 0);
+            sys.access(a, 0).unwrap();
         }
     }
     let e = sys.protocol_events();
@@ -565,7 +584,8 @@ fn bypass_skips_llc_allocation_for_streaming_regions() {
     // LLC reuse.
     let base = 0x9_0000_0000u64;
     for i in 0..400u64 {
-        sys.access(&acc(0, AccessKind::Load, base + i * 64), i);
+        sys.access(&acc(0, AccessKind::Load, base + i * 64), i)
+            .unwrap();
     }
     assert!(
         sys.raw_counters().bypassed_fills > 0,
@@ -574,7 +594,8 @@ fn bypass_skips_llc_allocation_for_streaming_regions() {
     assert_eq!(sys.coherence_errors(), 0);
     sys.check_invariants().unwrap();
     // Re-reading a bypassed line must still be correct (memory master).
-    sys.access(&acc(0, AccessKind::Load, base + 8 * 64), 10_000);
+    sys.access(&acc(0, AccessKind::Load, base + 8 * 64), 10_000)
+        .unwrap();
     assert_eq!(sys.coherence_errors(), 0);
 }
 
@@ -597,20 +618,24 @@ fn bypass_spares_regions_with_reuse() {
     // keeps showing reuse, so fills must NOT be bypassed.
     for round in 0..6u64 {
         for i in 0..16u64 {
-            sys.access(&acc(0, AccessKind::Load, base + i * 64), round * 100);
+            sys.access(&acc(0, AccessKind::Load, base + i * 64), round * 100)
+                .unwrap();
         }
         // Thrash L1 set-wise to force LLC re-reads of the same region.
         for i in 0..1500u64 {
             sys.access(
                 &acc(0, AccessKind::Load, 0xb_0000_0000 + i * 64),
                 round * 100,
-            );
+            )
+            .unwrap();
         }
     }
     // The thrash filler itself streams (and may be bypassed); what matters
     // is that the *reused* region kept its LLC residency: a re-read after L1
     // eviction must be an LLC hit, not another memory fill.
-    let r = sys.access(&acc(0, AccessKind::Load, base), 1_000_000);
+    let r = sys
+        .access(&acc(0, AccessKind::Load, base), 1_000_000)
+        .unwrap();
     assert!(
         matches!(r.serviced_by, ServicedBy::Llc),
         "reused region must stay LLC-resident, got {:?}",
@@ -628,17 +653,18 @@ fn md2_spill_reseeds_md3_for_private_regions() {
     c.md2 = d2m_common::config::CacheGeometry::new(2, 2); // tiny MD2
     let mut sys = D2mSystem::new(&c, D2mVariant::FarSide);
     let va = 0x3_0000_0000u64;
-    sys.access(&acc(0, AccessKind::Load, va), 0);
+    sys.access(&acc(0, AccessKind::Load, va), 0).unwrap();
     let fills_before = sys.raw_counters().mem_fills;
     // Evict the region's MD2 entry by touching many other regions.
     for i in 1..=32u64 {
-        sys.access(&acc(0, AccessKind::Load, va + i * 1024 * 4), 0);
+        sys.access(&acc(0, AccessKind::Load, va + i * 1024 * 4), 0)
+            .unwrap();
     }
     assert!(sys.raw_counters().md2_evictions > 0);
     // Another node reads the same line: D1 (untracked→private) must point it
     // at the LLC master from the spill — no new memory fill for that line.
     let before_d1 = sys.protocol_events().d1_untracked_to_private;
-    let r = sys.access(&acc(1, AccessKind::Load, va), 100_000);
+    let r = sys.access(&acc(1, AccessKind::Load, va), 100_000).unwrap();
     assert!(sys.protocol_events().d1_untracked_to_private > before_d1);
     assert_ne!(
         r.serviced_by,
@@ -659,17 +685,20 @@ fn llc_master_eviction_retargets_trackers_to_memory() {
     c.ns_slice = d2m_common::config::CacheGeometry::from_capacity(4 << 10, 4);
     let mut sys = D2mSystem::new(&c, D2mVariant::FarSide);
     let va = 0x5_0000_0000u64;
-    sys.access(&acc(0, AccessKind::Load, va), 0);
+    sys.access(&acc(0, AccessKind::Load, va), 0).unwrap();
     // Stream lines mapping to the same LLC set (128 sets here).
     for i in 1..=16u64 {
-        sys.access(&acc(1, AccessKind::Load, va + i * 128 * 64), 0);
+        sys.access(&acc(1, AccessKind::Load, va + i * 128 * 64), 0)
+            .unwrap();
     }
     // Node 0's copy may have lost its LLC backing; a re-read after L1
     // eviction must still return the right data.
     for i in 1..=10u64 {
-        sys.access(&acc(0, AccessKind::Load, 0x6_0000_0000 + i * 64 * 64), 0);
+        sys.access(&acc(0, AccessKind::Load, 0x6_0000_0000 + i * 64 * 64), 0)
+            .unwrap();
     }
-    sys.access(&acc(0, AccessKind::Load, va), 1_000_000);
+    sys.access(&acc(0, AccessKind::Load, va), 1_000_000)
+        .unwrap();
     assert_eq!(sys.coherence_errors(), 0);
     assert_eq!(sys.determinism_errors(), 0);
     sys.check_invariants().unwrap();
@@ -684,7 +713,8 @@ fn pressure_exchange_messages_are_counted() {
         sys.access(
             &acc((i % 8) as u8, AccessKind::Load, 0x7_0000_0000 + i * 64),
             i,
-        );
+        )
+        .unwrap();
     }
     assert!(sys.noc().count(MsgClass::Pressure) > 0);
 }
@@ -695,16 +725,16 @@ fn remote_master_read_drops_exclusivity() {
     // node 0's next write to the same line needs a coherence round again.
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
     let va = 0x8_0000_0000u64;
-    sys.access(&acc(1, AccessKind::Load, va), 0); // make region shared later
-    sys.access(&acc(0, AccessKind::Store, va), 0); // case C: node 0 master
+    sys.access(&acc(1, AccessKind::Load, va), 0).unwrap(); // make region shared later
+    sys.access(&acc(0, AccessKind::Store, va), 0).unwrap(); // case C: node 0 master
     let c_before = sys.protocol_events().c_write_shared;
-    sys.access(&acc(1, AccessKind::Load, va), 100_000); // direct read from node 0
-    sys.access(&acc(0, AccessKind::Store, va), 200_000); // must invalidate node 1
+    sys.access(&acc(1, AccessKind::Load, va), 100_000).unwrap(); // direct read from node 0
+    sys.access(&acc(0, AccessKind::Store, va), 200_000).unwrap(); // must invalidate node 1
     assert!(
         sys.protocol_events().c_write_shared > c_before,
         "write after remote read requires a new case-C round"
     );
-    sys.access(&acc(1, AccessKind::Load, va), 300_000);
+    sys.access(&acc(1, AccessKind::Load, va), 300_000).unwrap();
     assert_eq!(sys.coherence_errors(), 0);
     sys.check_invariants().unwrap();
 }
@@ -725,7 +755,7 @@ fn metadata_capacity_governs_readmm_rate() {
             batch.clear();
             gen.next_batch(&mut batch);
             for a in &batch {
-                sys.access(a, 0);
+                sys.access(a, 0).unwrap();
             }
         }
         sys.protocol_events().d_md_miss
@@ -753,12 +783,15 @@ fn l2_feats() -> crate::system::D2mFeatures {
 fn private_l2_serves_as_a_victim_cache() {
     let mut sys = D2mSystem::with_features(&cfg(), D2mVariant::FarSide, l2_feats(), 1);
     let va = 0xc_0000_0000u64;
-    sys.access(&acc(0, AccessKind::Load, va), 0);
+    sys.access(&acc(0, AccessKind::Load, va), 0).unwrap();
     // Conflict-evict from L1: the clean replica demotes into the L2.
     for i in 1..=10u64 {
-        sys.access(&acc(0, AccessKind::Load, va + i * 64 * 64), 0);
+        sys.access(&acc(0, AccessKind::Load, va + i * 64 * 64), 0)
+            .unwrap();
     }
-    let r = sys.access(&acc(0, AccessKind::Load, va), 1_000_000);
+    let r = sys
+        .access(&acc(0, AccessKind::Load, va), 1_000_000)
+        .unwrap();
     assert!(!r.l1_hit);
     assert_eq!(r.serviced_by, ServicedBy::L2, "victim cache must serve");
     assert_eq!(sys.coherence_errors(), 0);
@@ -770,16 +803,21 @@ fn private_l2_master_roundtrip() {
     let mut sys = D2mSystem::with_features(&cfg(), D2mVariant::FarSide, l2_feats(), 1);
     let va = 0xd_0000_0000u64;
     // Make node 0 the master (case B via region fill + store).
-    sys.access(&acc(0, AccessKind::Load, va + 0x40), 0);
-    sys.access(&acc(0, AccessKind::Store, va), 0);
+    sys.access(&acc(0, AccessKind::Load, va + 0x40), 0).unwrap();
+    sys.access(&acc(0, AccessKind::Store, va), 0).unwrap();
     // Evict the dirty master from L1: it must land in its L2 victim slot.
     for i in 1..=10u64 {
-        sys.access(&acc(0, AccessKind::Load, va + i * 64 * 64), 0);
+        sys.access(&acc(0, AccessKind::Load, va + i * 64 * 64), 0)
+            .unwrap();
     }
-    let r = sys.access(&acc(0, AccessKind::Load, va), 1_000_000);
+    let r = sys
+        .access(&acc(0, AccessKind::Load, va), 1_000_000)
+        .unwrap();
     assert_eq!(r.serviced_by, ServicedBy::L2, "master moved to the L2");
     // Another node reads: direct-to-master must find it inside node 0.
-    let r2 = sys.access(&acc(1, AccessKind::Load, va), 1_000_000);
+    let r2 = sys
+        .access(&acc(1, AccessKind::Load, va), 1_000_000)
+        .unwrap();
     assert_eq!(r2.serviced_by, ServicedBy::RemoteNode);
     assert_eq!(sys.coherence_errors(), 0);
     sys.check_invariants().unwrap();
@@ -798,7 +836,7 @@ fn private_l2_survives_random_traces() {
             batch.clear();
             gen.next_batch(&mut batch);
             for a in &batch {
-                sys.access(a, i * 10);
+                sys.access(a, i * 10).unwrap();
             }
         }
         assert_eq!(sys.coherence_errors(), 0, "{name}");
@@ -831,25 +869,28 @@ fn shared_write_hit_after_master_slot_eviction_keeps_rps_valid() {
 
     // Node 1 faults the line in: master lands in node 1's slice (equal
     // pressure ⇒ local allocation).
-    sys.access(&acc(1, AccessKind::Load, va), 0);
+    sys.access(&acc(1, AccessKind::Load, va), 0).unwrap();
     // Node 0 reads it twice: remote-NS hit + MRU ⇒ replicated into node 0's
     // slice, with node 0's L1 RP pointing at the local replica.
-    sys.access(&acc(0, AccessKind::Load, va), 0);
+    sys.access(&acc(0, AccessKind::Load, va), 0).unwrap();
 
     // Thrash node 1's small slice so the master slot is evicted and the
     // master falls back to memory.
     for i in 1..=4096u64 {
-        sys.access(&acc(1, AccessKind::Load, 0x2_0000_0000 + i * 64), 0);
+        sys.access(&acc(1, AccessKind::Load, 0x2_0000_0000 + i * 64), 0)
+            .unwrap();
     }
 
     // Store at node 0: write-hit on the replica (if still L1-resident) or a
     // write miss — either way the new master's RP must name a live victim.
-    sys.access(&acc(0, AccessKind::Store, va), 1_000_000);
+    sys.access(&acc(0, AccessKind::Store, va), 1_000_000)
+        .unwrap();
     sys.debug_validate_rps().unwrap();
     sys.check_invariants().unwrap();
 
     // And the value must be visible everywhere.
-    sys.access(&acc(1, AccessKind::Load, va), 2_000_000);
+    sys.access(&acc(1, AccessKind::Load, va), 2_000_000)
+        .unwrap();
     assert_eq!(sys.coherence_errors(), 0);
 }
 
@@ -874,7 +915,7 @@ fn traditional_front_end_keeps_d2m_semantics() {
         batch.clear();
         gen.next_batch(&mut batch);
         for a in &batch {
-            sys.access(a, i * 10);
+            sys.access(a, i * 10).unwrap();
         }
     }
     assert_eq!(sys.coherence_errors(), 0);
@@ -900,7 +941,7 @@ fn protocol_message_conservation_laws() {
             batch.clear();
             gen.next_batch(&mut batch);
             for a in &batch {
-                sys.access(a, 0);
+                sys.access(a, 0).unwrap();
             }
         }
         let ev = sys.protocol_events();
@@ -923,4 +964,39 @@ fn protocol_message_conservation_laws() {
         );
         assert_eq!(sys.coherence_errors(), 0, "{v:?}");
     }
+}
+
+#[test]
+fn corrupted_li_yields_protocol_error_not_abort() {
+    use crate::error::ProtocolError;
+    use crate::li::Li;
+
+    let mut c = cfg();
+    c.check_coherence = false;
+    let mut sys = D2mSystem::new(&c, D2mVariant::FarSide);
+    let va = 0x900_0000u64;
+    sys.access(&acc(0, AccessKind::Load, va), 0).unwrap();
+
+    // Plant a near-side pointer on this far-side system (slice 5 of 1) in
+    // the now-active MD1 entry, at an offset the L1 does not yet hold.
+    let md1 = &mut sys.nodes[0].md1d;
+    let slots: Vec<(usize, usize)> = md1.iter().map(|(s, w, _, _)| (s, w)).collect();
+    assert!(!slots.is_empty(), "first access must activate an MD1 entry");
+    for (s, w) in slots {
+        let (_, e) = md1.at_mut(s, w).expect("occupied");
+        e.li[1] = Li::LlcNs {
+            node: NodeId::new(5),
+            way: 0,
+        };
+    }
+
+    let err = sys
+        .access(&acc(0, AccessKind::Load, va + 64), 0)
+        .expect_err("corrupt LI must fail the transaction, not abort");
+    assert!(
+        matches!(err, ProtocolError::LlcSlotOutOfRange { .. }),
+        "{err}"
+    );
+    // The error message names the offender for cell-failure reports.
+    assert!(err.to_string().contains("LlcNs"), "{err}");
 }

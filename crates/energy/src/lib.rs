@@ -277,6 +277,20 @@ impl EnergyAccount {
         v
     }
 
+    /// Per-structure dynamic-energy breakdown as deterministic JSON.
+    ///
+    /// Events appear in [`EnergyEvent::ALL`] order (not sorted by magnitude),
+    /// zero rows omitted, so equal accounts serialize byte-identically.
+    pub fn breakdown_json(&self) -> d2m_common::json::Json {
+        use d2m_common::json::Json;
+        let rows = EnergyEvent::ALL
+            .iter()
+            .filter(|e| self.by_event_pj[e.index()] > 0.0)
+            .map(|e| (e.name().to_string(), Json::F64(self.by_event_pj[e.index()])))
+            .collect();
+        Json::Obj(rows)
+    }
+
     /// Charges leakage for `sram_kb` kilobytes of (standard) SRAM over
     /// `cycles` cycles.
     pub fn charge_leakage(&mut self, sram_kb: f64, cycles: u64) {

@@ -22,6 +22,7 @@
 //! ```
 
 use d2m_common::addr::NodeId;
+use d2m_common::json::{Json, ToJson};
 use d2m_common::stats::Counters;
 
 /// One end of an interconnect message.
@@ -176,6 +177,106 @@ impl MsgClass {
     }
 }
 
+/// Per-message-class source→destination traffic counts.
+///
+/// Endpoints are indexed `0..nodes` for [`Endpoint::Node`] and `nodes` for
+/// [`Endpoint::FarSide`]. Off by default — a [`Noc`] without a matrix does
+/// exactly the pre-observability work — and enabled per run with
+/// [`Noc::enable_matrix`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    nodes: usize,
+    /// `counts[class][from * (nodes + 1) + to]`, class-major.
+    counts: Vec<Vec<u64>>,
+}
+
+impl TrafficMatrix {
+    /// Creates an all-zero matrix for `nodes` core nodes plus the far side.
+    pub fn new(nodes: usize) -> Self {
+        let endpoints = nodes + 1;
+        Self {
+            nodes,
+            counts: vec![vec![0; endpoints * endpoints]; MSG_CLASSES],
+        }
+    }
+
+    fn endpoint_index(&self, ep: Endpoint) -> usize {
+        match ep {
+            Endpoint::Node(n) => n.index().min(self.nodes),
+            Endpoint::FarSide => self.nodes,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, class: MsgClass, from: Endpoint, to: Endpoint) {
+        let f = self.endpoint_index(from);
+        let t = self.endpoint_index(to);
+        self.counts[class.idx()][f * (self.nodes + 1) + t] += 1;
+    }
+
+    /// Number of core nodes (the far side is one extra endpoint).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Count for `(class, from, to)`.
+    pub fn count(&self, class: MsgClass, from: Endpoint, to: Endpoint) -> u64 {
+        let f = self.endpoint_index(from);
+        let t = self.endpoint_index(to);
+        self.counts[class.idx()][f * (self.nodes + 1) + t]
+    }
+
+    /// Total messages recorded across all classes and endpoint pairs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Adds another matrix's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn merge(&mut self, other: &TrafficMatrix) {
+        assert_eq!(self.nodes, other.nodes, "matrix shapes must match");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+    }
+}
+
+impl ToJson for TrafficMatrix {
+    /// Deterministic sparse rendering: only non-zero entries, in class-major
+    /// then `(from, to)` order, as `{"class": [[from, to, count], ...]}`.
+    /// Endpoint index `nodes` denotes the far side.
+    fn to_json(&self) -> Json {
+        let endpoints = self.nodes + 1;
+        let mut classes = Vec::new();
+        for class in MsgClass::ALL {
+            let row = &self.counts[class.idx()];
+            let entries: Vec<Json> = (0..endpoints)
+                .flat_map(|f| (0..endpoints).map(move |t| (f, t)))
+                .filter(|&(f, t)| row[f * endpoints + t] != 0)
+                .map(|(f, t)| {
+                    Json::Arr(vec![
+                        Json::U64(f as u64),
+                        Json::U64(t as u64),
+                        Json::U64(row[f * endpoints + t]),
+                    ])
+                })
+                .collect();
+            if !entries.is_empty() {
+                classes.push((class.name().to_string(), Json::Arr(entries)));
+            }
+        }
+        Json::Obj(vec![
+            ("nodes".to_string(), Json::U64(self.nodes as u64)),
+            ("classes".to_string(), Json::Obj(classes)),
+        ])
+    }
+}
+
 /// Interconnect accumulator: counts messages and bytes, returns hop latency.
 #[derive(Clone, Debug)]
 pub struct Noc {
@@ -183,6 +284,7 @@ pub struct Noc {
     counts: [u64; MSG_CLASSES],
     header_bytes: u64,
     data_bytes: u64,
+    matrix: Option<TrafficMatrix>,
 }
 
 impl Noc {
@@ -193,7 +295,20 @@ impl Noc {
             counts: [0; MSG_CLASSES],
             header_bytes: 0,
             data_bytes: 0,
+            matrix: None,
         }
+    }
+
+    /// Turns on per-class source→destination traffic attribution for `nodes`
+    /// core nodes. Costs one branch per send when off, one vector increment
+    /// when on; aggregate counts are unaffected either way.
+    pub fn enable_matrix(&mut self, nodes: usize) {
+        self.matrix = Some(TrafficMatrix::new(nodes));
+    }
+
+    /// The traffic matrix, when enabled.
+    pub fn matrix(&self) -> Option<&TrafficMatrix> {
+        self.matrix.as_ref()
     }
 
     /// Records a message and returns its latency contribution in cycles.
@@ -208,6 +323,9 @@ impl Noc {
         self.counts[class.idx()] += 1;
         self.header_bytes += 8;
         self.data_bytes += class.payload_bytes() as u64;
+        if let Some(m) = self.matrix.as_mut() {
+            m.record(class, from, to);
+        }
         if class.is_offchip() {
             0 // charged via the memory latency, not a NoC hop
         } else {
@@ -383,6 +501,54 @@ mod tests {
         assert_eq!(c.get("msg.ack"), 1);
         assert_eq!(c.get("msg_total"), 1);
         assert!(c.len() >= MSG_CLASSES);
+    }
+
+    #[test]
+    fn matrix_is_off_by_default_and_free() {
+        let mut plain = Noc::new(4);
+        let mut probed = Noc::new(4);
+        probed.enable_matrix(8);
+        for noc in [&mut plain, &mut probed] {
+            noc.send(MsgClass::ReadReq, n(0), Endpoint::FarSide);
+            noc.send(MsgClass::DataReply, Endpoint::FarSide, n(0));
+            noc.send(MsgClass::Fwd, n(1), n(2));
+        }
+        assert!(plain.matrix().is_none());
+        // Aggregate accounting is identical with the matrix on.
+        assert_eq!(plain.counters(), probed.counters());
+    }
+
+    #[test]
+    fn matrix_attributes_source_and_destination() {
+        let mut noc = Noc::new(4);
+        noc.enable_matrix(8);
+        noc.send(MsgClass::ReadReq, n(0), Endpoint::FarSide);
+        noc.send(MsgClass::ReadReq, n(0), Endpoint::FarSide);
+        noc.send(MsgClass::Fwd, n(1), n(2));
+        noc.send(MsgClass::Fwd, n(3), n(3)); // local: free, unrecorded
+        let m = noc.matrix().unwrap();
+        assert_eq!(m.count(MsgClass::ReadReq, n(0), Endpoint::FarSide), 2);
+        assert_eq!(m.count(MsgClass::Fwd, n(1), n(2)), 1);
+        assert_eq!(m.count(MsgClass::Fwd, n(3), n(3)), 0);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn matrix_merge_and_json_are_deterministic() {
+        use d2m_common::json::ToJson;
+        let mut a = TrafficMatrix::new(4);
+        let mut b = TrafficMatrix::new(4);
+        a.record(MsgClass::Inv, Endpoint::FarSide, n(1));
+        b.record(MsgClass::Inv, Endpoint::FarSide, n(1));
+        b.record(MsgClass::Ack, n(1), Endpoint::FarSide);
+        a.merge(&b);
+        assert_eq!(a.count(MsgClass::Inv, Endpoint::FarSide, n(1)), 2);
+        let text = a.to_json().to_string_compact();
+        // Only non-zero entries, far side rendered as index `nodes`.
+        assert!(text.contains("\"inv\":[[4,1,2]]"), "{text}");
+        assert!(text.contains("\"ack\":[[1,4,1]]"), "{text}");
+        let again = a.to_json().to_string_compact();
+        assert_eq!(text, again);
     }
 
     #[test]

@@ -4,19 +4,26 @@
 //! ```text
 //! d2m-simulate --system d2m-ns-r --workload tpc-c --instructions 2000000
 //! d2m-simulate --system base-2l --workload canneal --json
+//! d2m-simulate --system d2m-ns --workload tpc-c --histograms
+//! d2m-simulate --system d2m-ns --workload tpc-c --trace-out obs.json
 //! d2m-simulate --list
 //! ```
 
 use d2m_common::config::MachineConfig;
-use d2m_sim::{run_one, RunConfig, SystemKind};
+use d2m_sim::{run_one_checked, run_one_observed, RunConfig, SystemKind};
 use d2m_workloads::catalog;
 
 fn usage() -> ! {
     eprintln!(
         "usage: d2m-simulate [--system NAME] [--workload NAME] \
          [--instructions N] [--warmup N] [--seed N] [--md-scale 1|2|4] \
-         [--json] [--list]\n\
-         systems: base-2l base-3l d2m-fs d2m-ns d2m-ns-r"
+         [--json] [--trace-out PATH] [--histograms] [--list]\n\
+         systems: base-2l base-3l d2m-fs d2m-ns d2m-ns-r\n\
+         --trace-out PATH  write the full observation (metrics, per-phase\n\
+                           counters, probe histograms, traffic matrix,\n\
+                           energy breakdown) as deterministic JSON to PATH\n\
+         --histograms      print the probe report (per-level/per-endpoint\n\
+                           counts, latency and hop histograms) to stdout"
     );
     std::process::exit(2)
 }
@@ -39,16 +46,27 @@ fn main() {
     let mut rc = RunConfig::quick();
     let mut json = false;
     let mut md_scale = 1usize;
+    let mut trace_out: Option<String> = None;
+    let mut histograms = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => {
-                for s in catalog::all() {
+                let specs = match catalog::all() {
+                    Ok(specs) => specs,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                for s in specs {
                     println!("{:<16} ({})", s.name, s.category.name());
                 }
                 return;
             }
             "--json" => json = true,
+            "--histograms" => histograms = true,
+            "--trace-out" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--system" => match it.next().and_then(|v| parse_system(v)) {
                 Some(k) => system = k,
                 None => usage(),
@@ -81,12 +99,52 @@ fn main() {
             _ => usage(),
         }
     }
-    let Some(spec) = catalog::by_name(&workload) else {
-        eprintln!("unknown workload {workload:?}; try --list");
-        std::process::exit(2);
+    let spec = match catalog::by_name(&workload) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {e}; try --list");
+            std::process::exit(2);
+        }
     };
     let cfg = MachineConfig::default().scale_metadata(md_scale);
-    let m = run_one(system, &cfg, &spec, &rc);
+
+    let observe = trace_out.is_some() || histograms;
+    let (m, obs) = if observe {
+        match run_one_observed(system, &cfg, &spec, &rc) {
+            Ok(o) => (o.metrics.clone(), Some(o)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match run_one_checked(system, &cfg, &spec, &rc) {
+            Ok(m) => (m, None),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    if let Some(o) = &obs {
+        if let Some(path) = &trace_out {
+            let text = o.to_json().to_string_pretty();
+            if let Err(e) = std::fs::write(path, text + "\n") {
+                eprintln!("error: cannot write {path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if histograms {
+            println!("{}", o.probe.report().to_string_pretty());
+            if json {
+                // --json --histograms: metrics follow the probe report.
+                use d2m_common::ToJson;
+                println!("{}", m.to_json().to_string_pretty());
+            }
+            return;
+        }
+    }
     if json {
         use d2m_common::ToJson;
         println!("{}", m.to_json().to_string_pretty());

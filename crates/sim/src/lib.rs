@@ -29,8 +29,9 @@ pub mod systems;
 
 pub use experiments::{run_matrix, MatrixResult};
 pub use metrics::RunMetrics;
-pub use runner::{run_one, RunConfig};
+pub use runner::{run_one, run_one_checked, run_one_observed, RunConfig, RunError, RunObservation};
 pub use sweep::{
-    default_jobs, run_sweep, run_sweep_with_jobs, CellResult, ConfigPoint, SweepResult, SweepSpec,
+    default_jobs, run_sweep, run_sweep_observed, run_sweep_observed_with_jobs, run_sweep_with_jobs,
+    CellResult, ConfigPoint, ObservedSweep, SweepResult, SweepSpec,
 };
 pub use systems::{AnySystem, SystemKind};

@@ -97,6 +97,43 @@ d2m_common::impl_json_struct!(RunMetrics {
 });
 
 impl RunMetrics {
+    /// A zeroed placeholder for a cell whose run failed.
+    ///
+    /// Keeps a sweep's cell grid complete (every index present, JSON shape
+    /// unchanged) while [`crate::sweep::CellResult::error`] carries the
+    /// cause.
+    pub fn failed(system: &str, workload: &str, category: &str) -> Self {
+        Self {
+            system: system.to_string(),
+            workload: workload.to_string(),
+            category: category.to_string(),
+            instructions: 0,
+            cycles: 0,
+            ipc: 0.0,
+            msgs_per_kilo_inst: 0.0,
+            d2m_msgs_per_kilo_inst: 0.0,
+            data_bytes_per_kilo_inst: 0.0,
+            l1i_miss_pct: 0.0,
+            l1d_miss_pct: 0.0,
+            late_i_pct: 0.0,
+            late_d_pct: 0.0,
+            ns_hit_ratio_i: 0.0,
+            ns_hit_ratio_d: 0.0,
+            avg_miss_latency: 0.0,
+            p50_miss_latency: 0,
+            p95_miss_latency: 0,
+            mem_service_frac: 0.0,
+            energy_pj: 0.0,
+            edp: 0.0,
+            d2m_energy_frac: 0.0,
+            invalidations: 0,
+            private_miss_frac: 0.0,
+            dir_or_md3_accesses: 0,
+            md2_or_l2tag_accesses: 0,
+            counters: Counters::new(),
+        }
+    }
+
     /// Speedup of this run relative to `base` (same workload).
     pub fn speedup_vs(&self, base: &RunMetrics) -> f64 {
         debug_assert_eq!(self.workload, base.workload);

@@ -12,14 +12,76 @@
 //! energy from the interconnect counters, plus leakage over the measured
 //! cycles.
 
+use std::fmt;
+
 use d2m_common::config::MachineConfig;
+use d2m_common::json::{Json, ToJson};
 use d2m_common::outcome::ServicedBy;
+use d2m_common::probe::{Probe, RecordingProbe};
+use d2m_common::stats::Counters;
+use d2m_core::ProtocolError;
 use d2m_energy::EnergyEvent;
-use d2m_noc::MsgClass;
+use d2m_noc::{MsgClass, TrafficMatrix};
 use d2m_workloads::{TraceGen, WorkloadSpec};
 
 use crate::metrics::{counters_delta, RunMetrics};
 use crate::systems::{AnySystem, SystemKind};
+
+/// Why a run could not produce metrics.
+///
+/// Either the protocol found its metadata corrupted mid-transaction, or the
+/// value-coherence oracle observed a violation. Both name the (system,
+/// workload) pair so a sweep can report exactly which cell failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// A transaction aborted on corrupted metadata.
+    Protocol {
+        /// Display name of the system that failed.
+        system: &'static str,
+        /// Workload being run.
+        workload: String,
+        /// The underlying protocol error.
+        error: ProtocolError,
+    },
+    /// The value-coherence oracle observed violations.
+    Coherence {
+        /// Display name of the system that failed.
+        system: &'static str,
+        /// Workload being run.
+        workload: String,
+        /// Number of violations observed.
+        violations: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Protocol {
+                system,
+                workload,
+                error,
+            } => write!(f, "protocol error on {system}/{workload}: {error}"),
+            RunError::Coherence {
+                system,
+                workload,
+                violations,
+            } => write!(
+                f,
+                "{system} violated value coherence on {workload} ({violations} violations)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Protocol { error, .. } => Some(error),
+            RunError::Coherence { .. } => None,
+        }
+    }
+}
 
 /// Run-length and reproducibility parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,19 +178,130 @@ impl ServeTally {
     }
 }
 
+/// Everything a fully-observed run produces beyond its scalar metrics.
+///
+/// Built by [`run_one_observed`]; serializes deterministically — two
+/// identical runs yield byte-identical [`RunObservation::to_json`] output.
+#[derive(Clone, Debug)]
+pub struct RunObservation {
+    /// The measurement-window metrics (identical to [`run_one`]'s).
+    pub metrics: RunMetrics,
+    /// Absolute counter snapshot at the end of warmup.
+    pub warmup_counters: Counters,
+    /// Transaction-level recording: per-level/per-endpoint counts, latency
+    /// and hop histograms, phase markers ("warmup", "measured").
+    pub probe: RecordingProbe,
+    /// Per-message-class traffic matrix over the whole run.
+    pub traffic: TrafficMatrix,
+    /// Per-structure dynamic-energy breakdown (deterministic key order).
+    pub energy_breakdown: Json,
+}
+
+impl RunObservation {
+    /// Deterministic JSON: metrics, per-phase counters, probe report,
+    /// traffic matrix and energy breakdown.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("metrics".to_string(), self.metrics.to_json()),
+            (
+                "phases".to_string(),
+                Json::Obj(vec![
+                    ("warmup".to_string(), self.warmup_counters.to_json()),
+                    ("measured".to_string(), self.metrics.counters.to_json()),
+                ]),
+            ),
+            ("probe".to_string(), self.probe.report()),
+            ("traffic".to_string(), self.traffic.to_json()),
+            (
+                "energy_breakdown".to_string(),
+                self.energy_breakdown.clone(),
+            ),
+        ])
+    }
+}
+
 /// Runs one (system, workload) pair and extracts its metrics.
 ///
 /// # Panics
 ///
-/// Panics if the machine config is invalid or (in debug builds) if the
-/// system violates value coherence.
+/// Panics if the machine config is invalid, if the system violates value
+/// coherence, or if the protocol aborts on corrupted metadata. Sweeps that
+/// must survive a failing cell use [`run_one_checked`] instead.
 pub fn run_one(
     kind: SystemKind,
     cfg: &MachineConfig,
     spec: &WorkloadSpec,
     rc: &RunConfig,
 ) -> RunMetrics {
+    match run_one_checked(kind, cfg, spec, rc) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`run_one`], but failures become a typed [`RunError`] naming the
+/// failing (system, workload) pair instead of aborting the process.
+///
+/// # Errors
+///
+/// [`RunError::Protocol`] when a transaction aborts on corrupted metadata;
+/// [`RunError::Coherence`] when the value-coherence oracle records
+/// violations.
+pub fn run_one_checked(
+    kind: SystemKind,
+    cfg: &MachineConfig,
+    spec: &WorkloadSpec,
+    rc: &RunConfig,
+) -> Result<RunMetrics, RunError> {
+    run_core(kind, cfg, spec, rc, None, false).map(|(m, _, _)| m)
+}
+
+/// Runs one pair with the full observability layer enabled: a
+/// [`RecordingProbe`] fed every transaction (with "warmup"/"measured" phase
+/// markers), a per-message-class [`TrafficMatrix`], per-phase counter
+/// snapshots and the per-structure energy breakdown.
+///
+/// The scalar metrics are identical to [`run_one`]'s for the same inputs —
+/// observation never perturbs the simulation.
+///
+/// # Errors
+///
+/// Same as [`run_one_checked`].
+pub fn run_one_observed(
+    kind: SystemKind,
+    cfg: &MachineConfig,
+    spec: &WorkloadSpec,
+    rc: &RunConfig,
+) -> Result<RunObservation, RunError> {
+    let mut probe = RecordingProbe::new();
+    let (metrics, warmup_counters, sys) = run_core(kind, cfg, spec, rc, Some(&mut probe), true)?;
+    let traffic = sys
+        .noc()
+        .matrix()
+        .cloned()
+        .unwrap_or_else(|| TrafficMatrix::new(cfg.nodes));
+    let energy_breakdown = sys.energy().breakdown_json();
+    Ok(RunObservation {
+        metrics,
+        warmup_counters,
+        probe,
+        traffic,
+        energy_breakdown,
+    })
+}
+
+fn run_core(
+    kind: SystemKind,
+    cfg: &MachineConfig,
+    spec: &WorkloadSpec,
+    rc: &RunConfig,
+    mut probe: Option<&mut RecordingProbe>,
+    record_traffic: bool,
+) -> Result<(RunMetrics, Counters, AnySystem), RunError> {
     let mut sys = AnySystem::build(kind, cfg, rc.seed);
+    if record_traffic {
+        sys.noc_mut().enable_matrix(cfg.nodes);
+    }
     let mut gen = TraceGen::new(spec, cfg.nodes, rc.seed);
     let mut clocks = vec![0f64; cfg.nodes];
     let mut batch = Vec::new();
@@ -141,8 +314,10 @@ pub fn run_one(
                          gen: &mut TraceGen,
                          clocks: &mut [f64],
                          tally: &mut ServeTally,
+                         mut probe: Option<&mut RecordingProbe>,
                          measure: bool,
-                         target: u64| {
+                         target: u64|
+     -> Result<u64, ProtocolError> {
         let mut insts = 0u64;
         while insts < target {
             batch.clear();
@@ -150,7 +325,8 @@ pub fn run_one(
             for a in &batch {
                 let n = a.node.index();
                 let now = clocks[n] as u64;
-                let r = sys.access(a, now);
+                let r =
+                    sys.access_probed(a, now, probe.as_deref_mut().map(|p| p as &mut dyn Probe))?;
                 let is_i = a.kind.is_ifetch();
                 if is_i {
                     clocks[n] += insts_per_fetch / ipc;
@@ -169,18 +345,28 @@ pub fn run_one(
                 }
             }
         }
-        insts
+        Ok(insts)
+    };
+    let proto_err = |error: ProtocolError| RunError::Protocol {
+        system: kind.name(),
+        workload: spec.name.clone(),
+        error,
     };
 
     // Warmup, then snapshot.
+    if let Some(p) = probe.as_deref_mut() {
+        p.phase("warmup");
+    }
     run_insts(
         &mut sys,
         &mut gen,
         &mut clocks,
         &mut tally,
+        probe.as_deref_mut(),
         false,
         rc.warmup_instructions,
-    );
+    )
+    .map_err(proto_err)?;
     let warm_counters = sys.counters();
     let warm_cycles = clocks.iter().cloned().fold(0f64, f64::max);
     let warm_dyn_std = sys.energy().dynamic_std_pj();
@@ -188,24 +374,29 @@ pub fn run_one(
     tally = ServeTally::default();
 
     // Measurement window.
+    if let Some(p) = probe.as_deref_mut() {
+        p.phase("measured");
+    }
     let instructions = run_insts(
         &mut sys,
         &mut gen,
         &mut clocks,
         &mut tally,
+        probe,
         true,
         rc.instructions,
-    );
+    )
+    .map_err(proto_err)?;
     let end_cycles = clocks.iter().cloned().fold(0f64, f64::max);
     let cycles = (end_cycles - warm_cycles).max(1.0) as u64;
 
-    assert_eq!(
-        sys.coherence_errors(),
-        0,
-        "{} violated value coherence on {}",
-        kind.name(),
-        spec.name
-    );
+    if sys.coherence_errors() != 0 {
+        return Err(RunError::Coherence {
+            system: kind.name(),
+            workload: spec.name.clone(),
+            violations: sys.coherence_errors(),
+        });
+    }
 
     let delta = counters_delta(&sys.counters(), &warm_counters);
 
@@ -268,7 +459,7 @@ pub fn run_one(
         delta.get("l1i.misses") + delta.get("l1d.misses")
     };
 
-    RunMetrics {
+    let metrics = RunMetrics {
         system: kind.name().to_string(),
         workload: spec.name.clone(),
         category: spec.category.name().to_string(),
@@ -296,7 +487,8 @@ pub fn run_one(
         dir_or_md3_accesses: dir_or_md3,
         md2_or_l2tag_accesses: md2_or_l2tag,
         counters: delta,
-    }
+    };
+    Ok((metrics, warm_counters, sys))
 }
 
 #[cfg(test)]

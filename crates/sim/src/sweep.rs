@@ -34,11 +34,12 @@ use std::time::Instant;
 
 use d2m_common::config::MachineConfig;
 use d2m_common::json::{FromJson, Json, JsonError, ToJson};
+use d2m_common::probe::RecordingProbe;
 use d2m_common::rng::derive_stream_seed;
 use d2m_workloads::WorkloadSpec;
 
 use crate::metrics::RunMetrics;
-use crate::runner::{run_one, RunConfig};
+use crate::runner::{run_one_checked, run_one_observed, RunConfig, RunObservation};
 use crate::systems::SystemKind;
 
 /// One named machine configuration in a sweep grid.
@@ -157,18 +158,61 @@ pub struct CellResult {
     pub workload: String,
     /// Derived RNG seed the cell ran with.
     pub seed: u64,
-    /// Extracted metrics.
+    /// Extracted metrics ([`RunMetrics::failed`] placeholder if `error` is
+    /// set).
     pub metrics: RunMetrics,
+    /// Why the cell failed, if it did. A corrupted-metadata or coherence
+    /// failure marks its own cell and leaves the rest of the sweep intact.
+    pub error: Option<String>,
 }
 
-d2m_common::impl_json_struct!(CellResult {
-    index,
-    config,
-    system,
-    workload,
-    seed,
-    metrics,
-});
+impl CellResult {
+    /// True when the cell completed and `metrics` are real.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+// Hand-written instead of `impl_json_struct!` so the `error` key appears
+// only on failed cells: sweeps without failures keep the exact pre-existing
+// byte format (the golden-output and determinism tests pin it).
+impl ToJson for CellResult {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("index".to_string(), self.index.to_json()),
+            ("config".to_string(), self.config.to_json()),
+            ("system".to_string(), self.system.to_json()),
+            ("workload".to_string(), self.workload.to_json()),
+            ("seed".to_string(), self.seed.to_json()),
+            ("metrics".to_string(), self.metrics.to_json()),
+        ];
+        if let Some(e) = &self.error {
+            fields.push(("error".to_string(), Json::Str(e.clone())));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for CellResult {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            index: j.field("index")?,
+            config: j.field("config")?,
+            system: j.field("system")?,
+            workload: j.field("workload")?,
+            seed: j.field("seed")?,
+            metrics: j.field("metrics")?,
+            error: match j.get("error") {
+                None => None,
+                Some(e) => Some(
+                    e.as_str()
+                        .ok_or_else(|| JsonError("cell error must be a string".into()))?
+                        .to_string(),
+                ),
+            },
+        })
+    }
+}
 
 /// The aggregated, deterministic result of a sweep.
 #[derive(Clone, Debug)]
@@ -228,17 +272,35 @@ impl SweepResult {
             .map(|c| c.metrics.clone())
             .collect()
     }
+
+    /// The cells that failed (corrupted metadata or coherence violations),
+    /// in cell-index order.
+    pub fn failures(&self) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| !c.ok()).collect()
+    }
 }
 
-/// The worker-pool size: `D2M_JOBS` if set to a positive integer, else the
+/// The worker-pool size: `D2M_JOBS` if set to an integer ≥ 1, else the
 /// machine's available parallelism.
+///
+/// Accepted `D2M_JOBS` values are decimal integers ≥ 1 (surrounding
+/// whitespace ignored). Anything else — `0`, a negative number, garbage —
+/// is rejected with a one-time warning on stderr naming the value, and the
+/// default is used instead of silently falling through.
 pub fn default_jobs() -> usize {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
     if let Ok(v) = std::env::var("D2M_JOBS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
                 return n;
             }
         }
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "warning: ignoring D2M_JOBS={v:?} (expected an integer >= 1); \
+                 using available parallelism"
+            );
+        });
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -254,12 +316,66 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepResult {
     run_sweep_with_jobs(spec, default_jobs())
 }
 
+/// The work-stealing pool shared by the plain and observed sweeps: workers
+/// pull the next unclaimed cell index from an atomic counter, run it in
+/// isolation, and deposit the result into its preassigned slot — so the
+/// output order never depends on scheduling.
+fn pool_run<T: Send>(n: usize, jobs: usize, run_cell: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let result = run_cell(index);
+                slots.lock().expect("slot mutex poisoned")[index] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("slot mutex poisoned")
+        .into_iter()
+        .map(|c| c.expect("every cell completed"))
+        .collect()
+}
+
+/// The cell's static identity plus the run config that reproduces it.
+fn cell_identity(spec: &SweepSpec, index: usize) -> (&ConfigPoint, SystemKind, &WorkloadSpec) {
+    let (ci, wi, si) = spec.cell_coords(index);
+    (&spec.configs[ci], spec.systems[si], &spec.workloads[wi])
+}
+
+fn run_cell(spec: &SweepSpec, index: usize) -> CellResult {
+    let (point, system, workload) = cell_identity(spec, index);
+    let rc = spec.cell_run_config(index);
+    let (metrics, error) = match run_one_checked(system, &point.config, workload, &rc) {
+        Ok(m) => (m, None),
+        Err(e) => (
+            RunMetrics::failed(system.name(), &workload.name, workload.category.name()),
+            Some(e.to_string()),
+        ),
+    };
+    CellResult {
+        index: index as u64,
+        config: point.label.clone(),
+        system,
+        workload: workload.name.clone(),
+        seed: rc.seed,
+        metrics,
+        error,
+    }
+}
+
 /// Runs a sweep on exactly `jobs` worker threads.
 ///
-/// Workers pull the next unclaimed cell index from a shared atomic counter
-/// (work stealing at cell granularity), run it in isolation, and deposit the
-/// result into its preassigned slot — so the output order, and therefore the
-/// serialized JSON, never depends on scheduling.
+/// A failing cell (corrupted metadata, coherence violation) does not abort
+/// the sweep: it is reported through [`CellResult::error`] with placeholder
+/// metrics, and every other cell completes normally.
 ///
 /// # Panics
 ///
@@ -269,39 +385,7 @@ pub fn run_sweep_with_jobs(spec: &SweepSpec, jobs: usize) -> SweepResult {
     let started = Instant::now();
     let n = spec.num_cells();
     let jobs_used = jobs.min(n.max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; n]);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs_used {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= n {
-                    break;
-                }
-                let (ci, wi, si) = spec.cell_coords(index);
-                let point = &spec.configs[ci];
-                let system = spec.systems[si];
-                let workload = &spec.workloads[wi];
-                let rc = spec.cell_run_config(index);
-                let metrics = run_one(system, &point.config, workload, &rc);
-                let cell = CellResult {
-                    index: index as u64,
-                    config: point.label.clone(),
-                    system,
-                    workload: workload.name.clone(),
-                    seed: rc.seed,
-                    metrics,
-                };
-                slots.lock().expect("slot mutex poisoned")[index] = Some(cell);
-            });
-        }
-    });
-    let cells = slots
-        .into_inner()
-        .expect("slot mutex poisoned")
-        .into_iter()
-        .map(|c| c.expect("every cell completed"))
-        .collect();
+    let cells = pool_run(n, jobs_used, |index| run_cell(spec, index));
     SweepResult {
         name: spec.name.clone(),
         master_seed: spec.master_seed,
@@ -311,9 +395,123 @@ pub fn run_sweep_with_jobs(spec: &SweepSpec, jobs: usize) -> SweepResult {
     }
 }
 
+/// An observed sweep: the ordinary [`SweepResult`] plus the per-cell
+/// transaction recordings and their aggregate.
+#[derive(Clone, Debug)]
+pub struct ObservedSweep {
+    /// The scalar results, identical to [`run_sweep_with_jobs`]'s for the
+    /// same spec.
+    pub result: SweepResult,
+    /// Per-cell observations in cell-index order; `None` for failed cells.
+    pub observations: Vec<Option<RunObservation>>,
+    /// Every successful cell's probe merged in cell-index order.
+    pub aggregate: RecordingProbe,
+}
+
+impl ObservedSweep {
+    /// Deterministic histogram JSON: the aggregate probe report plus one
+    /// entry per cell (its probe report, or its error). Byte-identical
+    /// across worker-thread counts for the same spec.
+    pub fn histograms_json(&self) -> Json {
+        let cells = self
+            .result
+            .cells
+            .iter()
+            .zip(&self.observations)
+            .map(|(c, o)| {
+                let mut fields = vec![
+                    ("index".to_string(), Json::U64(c.index)),
+                    ("config".to_string(), Json::Str(c.config.clone())),
+                    ("system".to_string(), Json::Str(c.system.name().to_string())),
+                    ("workload".to_string(), Json::Str(c.workload.clone())),
+                ];
+                match o {
+                    Some(o) => fields.push(("probe".to_string(), o.probe.report())),
+                    None => fields.push((
+                        "error".to_string(),
+                        Json::Str(c.error.clone().unwrap_or_default()),
+                    )),
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.result.name.clone())),
+            ("aggregate".to_string(), self.aggregate.report()),
+            ("cells".to_string(), Json::Arr(cells)),
+        ])
+    }
+}
+
+/// Runs an observed sweep on the default pool size (see [`default_jobs`]).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (e.g. an invalid machine config).
+pub fn run_sweep_observed(spec: &SweepSpec) -> ObservedSweep {
+    run_sweep_observed_with_jobs(spec, default_jobs())
+}
+
+/// Runs a sweep with the full observability layer on every cell (see
+/// [`run_one_observed`]), on exactly `jobs` worker threads.
+///
+/// Per-cell probes are merged into [`ObservedSweep::aggregate`] in
+/// cell-index order after the pool drains, so the aggregate — like
+/// [`ObservedSweep::histograms_json`] — is byte-identical across thread
+/// counts.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero or a worker thread panics.
+pub fn run_sweep_observed_with_jobs(spec: &SweepSpec, jobs: usize) -> ObservedSweep {
+    assert!(jobs >= 1, "sweep needs at least one worker");
+    let started = Instant::now();
+    let n = spec.num_cells();
+    let jobs_used = jobs.min(n.max(1));
+    let pairs = pool_run(n, jobs_used, |index| {
+        let (point, system, workload) = cell_identity(spec, index);
+        let rc = spec.cell_run_config(index);
+        let (metrics, error, obs) = match run_one_observed(system, &point.config, workload, &rc) {
+            Ok(o) => (o.metrics.clone(), None, Some(o)),
+            Err(e) => (
+                RunMetrics::failed(system.name(), &workload.name, workload.category.name()),
+                Some(e.to_string()),
+                None,
+            ),
+        };
+        let cell = CellResult {
+            index: index as u64,
+            config: point.label.clone(),
+            system,
+            workload: workload.name.clone(),
+            seed: rc.seed,
+            metrics,
+            error,
+        };
+        (cell, obs)
+    });
+    let (cells, observations): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+    let mut aggregate = RecordingProbe::new();
+    for o in observations.iter().flatten() {
+        aggregate.merge(&o.probe);
+    }
+    ObservedSweep {
+        result: SweepResult {
+            name: spec.name.clone(),
+            master_seed: spec.master_seed,
+            cells,
+            jobs_used,
+            wall_secs: started.elapsed().as_secs_f64(),
+        },
+        observations,
+        aggregate,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_one;
     use d2m_workloads::catalog;
 
     fn tiny_spec() -> SweepSpec {
@@ -410,5 +608,84 @@ mod tests {
         let spec = tiny_spec();
         let res = run_sweep_with_jobs(&spec, 1);
         assert_eq!(res.jobs_used, 1);
+    }
+
+    #[test]
+    fn default_jobs_accepts_integers_and_rejects_garbage() {
+        // No other test reads D2M_JOBS (sweeps under test pass explicit job
+        // counts), so mutating the process environment here is safe.
+        std::env::set_var("D2M_JOBS", " 3 ");
+        assert_eq!(default_jobs(), 3);
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        for bad in ["0", "-2", "many", ""] {
+            std::env::set_var("D2M_JOBS", bad);
+            assert_eq!(default_jobs(), fallback, "D2M_JOBS={bad:?}");
+        }
+        std::env::remove_var("D2M_JOBS");
+        assert_eq!(default_jobs(), fallback);
+    }
+
+    #[test]
+    fn successful_cells_have_no_error_and_no_error_key() {
+        let mut spec = tiny_spec();
+        spec.configs.truncate(1);
+        spec.workloads.truncate(1);
+        let res = run_sweep_with_jobs(&spec, 2);
+        assert!(res.failures().is_empty());
+        assert!(res.cells.iter().all(CellResult::ok));
+        // The `error` key must be absent, not `null`: byte format is pinned.
+        assert!(!res.to_json_string().contains("\"error\""));
+    }
+
+    #[test]
+    fn failed_cell_roundtrips_through_json() {
+        let mut spec = tiny_spec();
+        spec.configs.truncate(1);
+        spec.workloads.truncate(1);
+        let mut res = run_sweep_with_jobs(&spec, 1);
+        res.cells[0].error = Some("synthetic failure".into());
+        res.cells[0].metrics = RunMetrics::failed("Base-2L", "swaptions", "Parallel");
+        let back = SweepResult::from_json_string(&res.to_json_string()).unwrap();
+        assert_eq!(back.cells, res.cells);
+        assert_eq!(back.failures().len(), 1);
+    }
+
+    #[test]
+    fn observed_sweep_is_thread_count_invariant() {
+        let mut spec = tiny_spec();
+        spec.workloads.truncate(1);
+        spec.instructions = 10_000;
+        spec.warmup_instructions = 2_000;
+        let a = run_sweep_observed_with_jobs(&spec, 1);
+        let b = run_sweep_observed_with_jobs(&spec, 4);
+        assert_eq!(
+            a.result.to_json_string(),
+            b.result.to_json_string(),
+            "scalar results must not depend on the worker count"
+        );
+        assert_eq!(
+            a.histograms_json().to_string_pretty(),
+            b.histograms_json().to_string_pretty(),
+            "histogram aggregation must not depend on the worker count"
+        );
+        assert!(a.aggregate.events > 0);
+    }
+
+    #[test]
+    fn observed_sweep_matches_plain_sweep_metrics() {
+        let mut spec = tiny_spec();
+        spec.configs.truncate(1);
+        spec.workloads.truncate(1);
+        spec.instructions = 10_000;
+        spec.warmup_instructions = 2_000;
+        let plain = run_sweep_with_jobs(&spec, 2);
+        let observed = run_sweep_observed_with_jobs(&spec, 2);
+        assert_eq!(
+            plain.to_json_string(),
+            observed.result.to_json_string(),
+            "observation must never perturb the simulation"
+        );
     }
 }

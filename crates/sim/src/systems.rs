@@ -3,8 +3,9 @@
 use d2m_baseline::{Baseline, BaselineKind};
 use d2m_common::config::MachineConfig;
 use d2m_common::outcome::AccessResult;
+use d2m_common::probe::Probe;
 use d2m_common::stats::Counters;
-use d2m_core::{D2mSystem, D2mVariant};
+use d2m_core::{D2mSystem, D2mVariant, ProtocolError};
 use d2m_energy::EnergyAccount;
 use d2m_noc::Noc;
 use d2m_workloads::Access;
@@ -106,11 +107,36 @@ impl AnySystem {
     }
 
     /// Simulates one access at node-local cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] when the D2M metadata hierarchy is found
+    /// corrupted mid-transaction. The baseline systems are infallible.
     #[inline]
-    pub fn access(&mut self, a: &Access, now: u64) -> AccessResult {
+    pub fn access(&mut self, a: &Access, now: u64) -> Result<AccessResult, ProtocolError> {
         match self {
-            AnySystem::Base(s) => s.access(a, now),
+            AnySystem::Base(s) => Ok(s.access(a, now)),
             AnySystem::D2m(s) => s.access(a, now),
+        }
+    }
+
+    /// Like [`AnySystem::access`], feeding a transaction event to `probe`.
+    ///
+    /// With `probe == None` this is exactly [`AnySystem::access`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnySystem::access`].
+    #[inline]
+    pub fn access_probed(
+        &mut self,
+        a: &Access,
+        now: u64,
+        probe: Option<&mut dyn Probe>,
+    ) -> Result<AccessResult, ProtocolError> {
+        match self {
+            AnySystem::Base(s) => Ok(s.access_probed(a, now, probe)),
+            AnySystem::D2m(s) => s.access_probed(a, now, probe),
         }
     }
 
@@ -127,6 +153,14 @@ impl AnySystem {
         match self {
             AnySystem::Base(s) => s.noc(),
             AnySystem::D2m(s) => s.noc(),
+        }
+    }
+
+    /// Mutable interconnect accumulator (e.g. to enable traffic recording).
+    pub fn noc_mut(&mut self) -> &mut Noc {
+        match self {
+            AnySystem::Base(s) => s.noc_mut(),
+            AnySystem::D2m(s) => s.noc_mut(),
         }
     }
 
@@ -188,7 +222,7 @@ mod tests {
                 kind: AccessKind::Load,
                 vaddr: VAddr::new(0x12345),
             };
-            let r = sys.access(&a, 0);
+            let r = sys.access(&a, 0).unwrap();
             assert!(r.latency > 0, "{}", kind.name());
             assert!(sys.sram_kb() > 1000.0);
         }

@@ -16,41 +16,78 @@
 
 use crate::spec::{Category, Sharing, WorkloadSpec};
 
-fn tweak(cat: Category, name: &str, f: impl FnOnce(&mut WorkloadSpec)) -> WorkloadSpec {
+/// A catalog lookup or construction failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CatalogError {
+    /// A spec failed [`WorkloadSpec::validate`]. Carries the offending spec
+    /// name so callers can report it instead of aborting.
+    Invalid {
+        /// Name of the offending spec.
+        name: String,
+        /// The validation failure.
+        reason: String,
+    },
+    /// [`by_name`] was asked for a workload the catalog does not contain.
+    Unknown {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Invalid { name, reason } => {
+                write!(f, "catalog spec {name} invalid: {reason}")
+            }
+            CatalogError::Unknown { name } => write!(f, "unknown workload {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+fn tweak(
+    cat: Category,
+    name: &str,
+    f: impl FnOnce(&mut WorkloadSpec),
+) -> Result<WorkloadSpec, CatalogError> {
     let mut s = WorkloadSpec::base(cat, name);
     f(&mut s);
     // Keep the mixture a distribution when a tweak raises p_hot.
     s.p_warm = s.p_warm.min(1.0 - s.p_hot);
-    s.validate()
-        .unwrap_or_else(|e| panic!("catalog spec {name} invalid: {e}"));
-    s
+    s.validate().map_err(|e| CatalogError::Invalid {
+        name: name.to_string(),
+        reason: e,
+    })?;
+    Ok(s)
 }
 
 /// All 45 workloads in the paper's figure order
 /// (Parsec, Splash2x, Mobile, SPEC mixes, TPC-C).
-pub fn all() -> Vec<WorkloadSpec> {
+pub fn all() -> Result<Vec<WorkloadSpec>, CatalogError> {
     let mut v = Vec::with_capacity(45);
-    v.extend(parsec());
-    v.extend(splash2x());
-    v.extend(mobile());
-    v.extend(server());
-    v.push(database());
-    v
+    v.extend(parsec()?);
+    v.extend(splash2x()?);
+    v.extend(mobile()?);
+    v.extend(server()?);
+    v.push(database()?);
+    Ok(v)
 }
 
 /// The Parsec suite (paper "Parallel").
-pub fn parsec() -> Vec<WorkloadSpec> {
+pub fn parsec() -> Result<Vec<WorkloadSpec>, CatalogError> {
     use Category::Parallel as P;
-    vec![
+    Ok(vec![
         tweak(P, "blackscholes", |s| {
             s.p_hot = 0.992; // tiny per-option working set
             s.warm_regions = 70;
             s.shared_frac = 0.02;
-        }),
+        })?,
         tweak(P, "bodytrack", |s| {
             s.shared_frac = 0.07;
             s.warm_regions = 100;
-        }),
+        })?,
         tweak(P, "canneal", |s| {
             // Pointer-chasing over a huge netlist: weak locality at every
             // level, many MD2 misses.
@@ -62,40 +99,40 @@ pub fn parsec() -> Vec<WorkloadSpec> {
             s.warm_regions = 3_000;
             s.data_zipf = 0.3;
             s.write_frac = 0.25;
-        }),
+        })?,
         tweak(P, "dedup", |s| {
             s.shared_frac = 0.08;
             s.sharing = Sharing::ProducerConsumer;
             s.warm_regions = 80;
-        }),
+        })?,
         tweak(P, "facesim", |s| {
             s.stride_frac = 0.04;
             s.stride_lines = 3;
             s.p_hot = 0.978;
             s.warm_regions = 130;
-        }),
+        })?,
         tweak(P, "ferret", |s| {
             s.shared_frac = 0.09;
             s.sharing = Sharing::ProducerConsumer;
             s.code_lines = 4_000;
             s.p_hot_code = 0.996;
-        }),
+        })?,
         tweak(P, "fluidanimate", |s| {
             s.shared_frac = 0.06;
             s.sharing = Sharing::Migratory;
             s.warm_regions = 110;
-        }),
+        })?,
         tweak(P, "freqmine", |s| {
             s.p_hot = 0.975;
             s.warm_regions = 400;
             s.shared_frac = 0.06;
-        }),
+        })?,
         tweak(P, "raytrace", |s| {
             s.shared_frac = 0.10;
             s.sharing = Sharing::ReadShared;
             s.shared_lines = 1 << 17;
             s.data_zipf = 0.8;
-        }),
+        })?,
         tweak(P, "streamcluster", |s| {
             // Streaming: the paper's "no traffic advantage" outlier.
             s.private_lines = 1 << 20;
@@ -106,18 +143,18 @@ pub fn parsec() -> Vec<WorkloadSpec> {
             s.warm_regions = 100;
             s.shared_frac = 0.02;
             s.write_frac = 0.1;
-        }),
+        })?,
         tweak(P, "swaptions", |s| {
             s.p_hot = 0.994;
             s.warm_regions = 70;
             s.shared_frac = 0.01;
-        }),
+        })?,
         tweak(P, "vips", |s| {
             s.stride_frac = 0.03;
             s.stride_lines = 2;
             s.shared_frac = 0.04;
             s.warm_regions = 80;
-        }),
+        })?,
         tweak(P, "x264", |s| {
             s.shared_frac = 0.06;
             s.sharing = Sharing::ProducerConsumer;
@@ -125,33 +162,33 @@ pub fn parsec() -> Vec<WorkloadSpec> {
             s.p_hot_code = 0.9965;
             s.stride_frac = 0.03;
             s.stride_lines = 2;
-        }),
-    ]
+        })?,
+    ])
 }
 
 /// The Splash2x suite (paper "HPC").
-pub fn splash2x() -> Vec<WorkloadSpec> {
+pub fn splash2x() -> Result<Vec<WorkloadSpec>, CatalogError> {
     use Category::Hpc as H;
-    vec![
+    Ok(vec![
         tweak(H, "barnes", |s| {
             s.shared_frac = 0.10;
             s.shared_lines = 1 << 16;
-        }),
+        })?,
         tweak(H, "cholesky", |s| {
             s.stride_frac = 0.03;
             s.stride_lines = 8;
             s.warm_regions = 80;
-        }),
+        })?,
         tweak(H, "fft", |s| {
             s.stride_frac = 0.04;
             s.stride_lines = 32;
             s.private_lines = 1 << 18;
             s.shared_frac = 0.06;
-        }),
+        })?,
         tweak(H, "fmm", |s| {
             s.shared_frac = 0.09;
             s.shared_lines = 1 << 16;
-        }),
+        })?,
         tweak(H, "lu_cb", |s| {
             // Power-of-two column strides over a large blocked matrix: the
             // §IV-D "malicious" pattern that lands every scan line in the
@@ -160,53 +197,53 @@ pub fn splash2x() -> Vec<WorkloadSpec> {
             s.stride_lines = 4096;
             s.private_lines = 1 << 19;
             s.shared_frac = 0.06;
-        }),
+        })?,
         tweak(H, "lu_ncb", |s| {
             s.stride_frac = 0.03;
             s.stride_lines = 4096;
             s.private_lines = 1 << 19;
             s.shared_frac = 0.06;
-        }),
+        })?,
         tweak(H, "ocean_cp", |s| {
             s.stride_frac = 0.035;
             s.stride_lines = 16;
             s.private_lines = 1 << 18;
             s.shared_frac = 0.07;
             s.write_frac = 0.4;
-        }),
+        })?,
         tweak(H, "radiosity", |s| {
             s.shared_frac = 0.11;
             s.shared_lines = 1 << 16;
             s.data_zipf = 0.95;
-        }),
+        })?,
         tweak(H, "radix", |s| {
             s.stride_frac = 0.04;
             s.stride_lines = 1;
             s.private_lines = 1 << 18;
             s.write_frac = 0.45;
             s.shared_frac = 0.05;
-        }),
+        })?,
         tweak(H, "raytrace.sp", |s| {
             s.shared_frac = 0.10;
             s.sharing = Sharing::ReadShared;
             s.shared_lines = 1 << 17;
-        }),
+        })?,
         tweak(H, "volrend", |s| {
             s.shared_frac = 0.09;
             s.sharing = Sharing::ReadShared;
             s.code_lines = 3_000;
-        }),
+        })?,
         tweak(H, "water_nsquared", |s| {
             s.p_hot = 0.99;
             s.warm_regions = 400;
             s.shared_frac = 0.06;
-        }),
+        })?,
         tweak(H, "water_spatial", |s| {
             s.p_hot = 0.99;
             s.warm_regions = 80;
             s.shared_frac = 0.05;
-        }),
-    ]
+        })?,
+    ])
 }
 
 /// Chrome/Telemetry website workloads (paper "Mobile").
@@ -214,7 +251,7 @@ pub fn splash2x() -> Vec<WorkloadSpec> {
 /// All share the browser-engine profile — a multi-megabyte instruction
 /// footprint dominating the behaviour (paper §V-D) — and differ in page
 /// complexity (code size, DOM/data footprints, script hotness).
-pub fn mobile() -> Vec<WorkloadSpec> {
+pub fn mobile() -> Result<Vec<WorkloadSpec>, CatalogError> {
     use Category::Mobile as M;
     let site = |name: &'static str, code_kl: u64, hot_frac: f64, warm: u64| {
         tweak(M, name, move |s| {
@@ -223,10 +260,10 @@ pub fn mobile() -> Vec<WorkloadSpec> {
             s.warm_regions = warm;
         })
     };
-    vec![
-        site("amazon", 28, 0.9745, 95),
-        site("answers.yahoo", 22, 0.9775, 95),
-        site("booking", 30, 0.972, 95),
+    Ok(vec![
+        site("amazon", 28, 0.9745, 95)?,
+        site("answers.yahoo", 22, 0.9775, 95)?,
+        site("booking", 30, 0.972, 95)?,
         tweak(M, "cnn", |s| {
             // The paper's NS-placement outlier: large, poorly-reusable data.
             s.code_lines = 34_000;
@@ -236,24 +273,24 @@ pub fn mobile() -> Vec<WorkloadSpec> {
             s.p_warm = 0.021;
             s.warm_regions = 600;
             s.shared_frac = 0.05;
-        }),
-        site("ebay", 26, 0.976, 95),
-        site("facebook", 32, 0.973, 95),
-        site("google", 16, 0.982, 80),
-        site("news.yahoo", 24, 0.976, 95),
-        site("reddit", 20, 0.9785, 95),
-        site("sports.yahoo", 24, 0.976, 95),
-        site("techcrunch", 22, 0.9775, 95),
-        site("twitter", 26, 0.9745, 95),
-        site("wikipedia", 14, 0.9835, 75),
-        site("youtube", 30, 0.973, 95),
-    ]
+        })?,
+        site("ebay", 26, 0.976, 95)?,
+        site("facebook", 32, 0.973, 95)?,
+        site("google", 16, 0.982, 80)?,
+        site("news.yahoo", 24, 0.976, 95)?,
+        site("reddit", 20, 0.9785, 95)?,
+        site("sports.yahoo", 24, 0.976, 95)?,
+        site("techcrunch", 22, 0.9775, 95)?,
+        site("twitter", 26, 0.9745, 95)?,
+        site("wikipedia", 14, 0.9835, 75)?,
+        site("youtube", 30, 0.973, 95)?,
+    ])
 }
 
 /// SPEC CPU2006 multiprogrammed mixes (paper "Server").
-pub fn server() -> Vec<WorkloadSpec> {
+pub fn server() -> Result<Vec<WorkloadSpec>, CatalogError> {
     use Category::Server as S;
-    vec![
+    Ok(vec![
         tweak(S, "mix1", |s| {
             // memory-heavy mix (mcf/lbm-like)
             s.private_lines = 1 << 19;
@@ -261,41 +298,52 @@ pub fn server() -> Vec<WorkloadSpec> {
             s.p_warm = 0.045;
             s.warm_regions = 180;
             s.mem_op_frac = 0.38;
-        }),
+        })?,
         tweak(S, "mix2", |s| {
             // balanced mix
             s.warm_regions = 110;
-        }),
+        })?,
         tweak(S, "mix3", |s| {
             // compute mix with streaming kernels (libquantum-like)
             s.stride_frac = 0.04;
             s.stride_lines = 1;
             s.private_lines = 1 << 18;
-        }),
+        })?,
         tweak(S, "mix4", |s| {
             // code-heavier mix (gcc/perl-like)
             s.code_lines = 10_000;
             s.p_hot_code = 0.991;
             s.warm_regions = 100;
-        }),
-    ]
+        })?,
+    ])
 }
 
 /// TPC-C on MySQL/InnoDB (paper "Database").
-pub fn database() -> WorkloadSpec {
+pub fn database() -> Result<WorkloadSpec, CatalogError> {
     tweak(Category::Database, "tpc-c", |s| {
         s.warm_regions = 120;
     })
 }
 
 /// Looks a workload up by its figure name.
-pub fn by_name(name: &str) -> Option<WorkloadSpec> {
-    all().into_iter().find(|s| s.name == name)
+///
+/// # Errors
+///
+/// [`CatalogError::Unknown`] when no workload has that name (the variant
+/// carries the requested name for error reporting), or
+/// [`CatalogError::Invalid`] if catalog construction itself failed.
+pub fn by_name(name: &str) -> Result<WorkloadSpec, CatalogError> {
+    all()?
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| CatalogError::Unknown {
+            name: name.to_string(),
+        })
 }
 
 /// All workloads of one suite, in figure order.
-pub fn by_category(cat: Category) -> Vec<WorkloadSpec> {
-    all().into_iter().filter(|s| s.category == cat).collect()
+pub fn by_category(cat: Category) -> Result<Vec<WorkloadSpec>, CatalogError> {
+    Ok(all()?.into_iter().filter(|s| s.category == cat).collect())
 }
 
 #[cfg(test)]
@@ -304,7 +352,7 @@ mod tests {
 
     #[test]
     fn catalog_has_45_unique_workloads() {
-        let v = all();
+        let v = all().unwrap();
         assert_eq!(v.len(), 45);
         let mut names: Vec<_> = v.iter().map(|s| s.name.clone()).collect();
         names.sort();
@@ -314,25 +362,32 @@ mod tests {
 
     #[test]
     fn every_spec_validates() {
-        for s in all() {
+        for s in all().unwrap() {
             s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
         }
     }
 
     #[test]
     fn suite_sizes_match_paper_figures() {
-        assert_eq!(parsec().len(), 13);
-        assert_eq!(splash2x().len(), 13);
-        assert_eq!(mobile().len(), 14);
-        assert_eq!(server().len(), 4);
+        assert_eq!(parsec().unwrap().len(), 13);
+        assert_eq!(splash2x().unwrap().len(), 13);
+        assert_eq!(mobile().unwrap().len(), 14);
+        assert_eq!(server().unwrap().len(), 4);
     }
 
     #[test]
     fn by_name_and_by_category() {
-        assert!(by_name("canneal").is_some());
-        assert!(by_name("nope").is_none());
-        assert_eq!(by_category(Category::Server).len(), 4);
-        assert_eq!(by_category(Category::Database).len(), 1);
+        assert!(by_name("canneal").is_ok());
+        let err = by_name("nope").unwrap_err();
+        assert_eq!(
+            err,
+            CatalogError::Unknown {
+                name: "nope".to_string()
+            }
+        );
+        assert!(err.to_string().contains("nope"), "{err}");
+        assert_eq!(by_category(Category::Server).unwrap().len(), 4);
+        assert_eq!(by_category(Category::Database).unwrap().len(), 1);
     }
 
     #[test]
@@ -354,7 +409,7 @@ mod tests {
 
     #[test]
     fn server_mixes_are_multiprogrammed() {
-        for s in server() {
+        for s in server().unwrap() {
             assert!(s.multiprogrammed);
             assert_eq!(s.shared_frac, 0.0);
         }
@@ -362,12 +417,12 @@ mod tests {
 
     #[test]
     fn database_and_mobile_have_big_cold_code() {
-        assert!(database().code_lines > 512 * 100);
+        assert!(database().unwrap().code_lines > 512 * 100);
         assert!(
-            database().p_hot_code < 0.95,
+            database().unwrap().p_hot_code < 0.95,
             "most cold-code jumps of any suite"
         );
-        for s in mobile() {
+        for s in mobile().unwrap() {
             assert!(s.code_lines > 512 * 20, "{}", s.name);
             assert!(s.p_hot_code < 0.99, "{}", s.name);
         }

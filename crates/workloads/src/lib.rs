@@ -29,5 +29,6 @@ pub mod gen;
 pub mod spec;
 pub mod trace_io;
 
+pub use catalog::CatalogError;
 pub use gen::{Access, AccessKind, TraceGen};
 pub use spec::{Category, Sharing, WorkloadSpec};

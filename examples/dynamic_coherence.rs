@@ -28,7 +28,7 @@ fn main() {
     let region = 0x4200_0000u64; // one 1 KB region = 16 cachelines
 
     println!("1) Node 0 touches a brand-new region:");
-    sys.access(&acc(0, AccessKind::Load, region), 0);
+    sys.access(&acc(0, AccessKind::Load, region), 0).unwrap();
     let ev = *sys.protocol_events();
     println!(
         "   → case D4 (uncached → private): {} transition, region now owned by node 0\n",
@@ -37,8 +37,10 @@ fn main() {
 
     println!("2) Node 0 writes two lines of its private region:");
     let md3_before = sys.raw_counters().md3_accesses;
-    sys.access(&acc(0, AccessKind::Store, region), 1000); // hit → silent upgrade
-    sys.access(&acc(0, AccessKind::Store, region + 64), 1000); // miss → case B
+    sys.access(&acc(0, AccessKind::Store, region), 1000)
+        .unwrap(); // hit → silent upgrade
+    sys.access(&acc(0, AccessKind::Store, region + 64), 1000)
+        .unwrap(); // miss → case B
     let ev = *sys.protocol_events();
     println!(
         "   → {} silent upgrade + {} case-B write miss, MD3 consulted {} times (zero!)\n",
@@ -48,7 +50,7 @@ fn main() {
     );
 
     println!("3) Node 1 reads the region — first foreign access:");
-    sys.access(&acc(1, AccessKind::Load, region), 2000);
+    sys.access(&acc(1, AccessKind::Load, region), 2000).unwrap();
     let ev = *sys.protocol_events();
     println!(
         "   → case D2 (private → shared): {} conversion; node 0's metadata was\n\
@@ -57,9 +59,10 @@ fn main() {
     );
 
     println!("4) Node 2 also reads, then node 1 writes the line node 0 masters:");
-    sys.access(&acc(2, AccessKind::Load, region), 2500);
+    sys.access(&acc(2, AccessKind::Load, region), 2500).unwrap();
     let inv_before = sys.raw_counters().invalidations_received;
-    sys.access(&acc(1, AccessKind::Store, region), 3000);
+    sys.access(&acc(1, AccessKind::Store, region), 3000)
+        .unwrap();
     let ev = *sys.protocol_events();
     println!(
         "   → case C (blocking MD3 round): {} transaction; the old master got a\n\
@@ -69,7 +72,7 @@ fn main() {
     );
 
     println!("5) Node 0 re-reads — the LI now names node 1 directly:");
-    let r = sys.access(&acc(0, AccessKind::Load, region), 4000);
+    let r = sys.access(&acc(0, AccessKind::Load, region), 4000).unwrap();
     println!(
         "   → serviced by {:?} with no directory lookup on the way\n",
         r.serviced_by

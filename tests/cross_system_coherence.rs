@@ -41,7 +41,7 @@ fn d2m_invariants_hold_after_real_workloads() {
                 batch.clear();
                 gen.next_batch(&mut batch);
                 for a in &batch {
-                    sys.access(a, 0);
+                    sys.access(a, 0).unwrap();
                 }
             }
             assert_eq!(sys.coherence_errors(), 0, "{name}/{variant:?}");
@@ -72,7 +72,7 @@ fn every_catalog_workload_runs_on_every_system_briefly() {
         warmup_instructions: 1_000,
         seed: 2,
     };
-    for spec in catalog::all() {
+    for spec in catalog::all().unwrap() {
         for kind in SystemKind::ALL {
             let m = run_one(kind, &cfg, &spec, &quick);
             assert!(
@@ -117,9 +117,8 @@ fn interleaved_writers_leave_identical_final_state() {
         vaddr: VAddr::new(va),
     };
     let shared = |i: u64| SHARED_BASE + (i % SHARED_LINES) * 64;
-    let private = |node: u8, i: u64| {
-        PRIVATE_BASE + u64::from(node) * 0x10_0000 + (i % PRIVATE_LINES) * 64
-    };
+    let private =
+        |node: u8, i: u64| PRIVATE_BASE + u64::from(node) * 0x10_0000 + (i % PRIVATE_LINES) * 64;
 
     let mut trace = Vec::new();
     for step in 0u64..600 {
@@ -151,7 +150,7 @@ fn interleaved_writers_leave_identical_final_state() {
     for kind in SystemKind::ALL {
         let mut sys = AnySystem::build(kind, &cfg, 1);
         for a in &trace {
-            sys.access(a, 0);
+            sys.access(a, 0).unwrap();
         }
         assert_eq!(
             sys.coherence_errors(),
@@ -185,7 +184,7 @@ fn recorded_traces_replay_identically() {
     let drive = |accs: &[d2m_workloads::Access]| {
         let mut sys = AnySystem::build(SystemKind::D2mNsR, &cfg, 1);
         for a in accs {
-            sys.access(a, 0);
+            sys.access(a, 0).unwrap();
         }
         assert_eq!(sys.coherence_errors(), 0);
         sys.counters()

@@ -61,7 +61,7 @@ fn drive(kind: SystemKind, trace: &[Access]) -> Counters {
     cfg.check_coherence = true;
     let mut sys = AnySystem::build(kind, &cfg, 1);
     for a in trace {
-        sys.access(a, 0);
+        sys.access(a, 0).unwrap();
     }
     assert_eq!(sys.coherence_errors(), 0, "{}", kind.name());
     sys.counters()
@@ -100,11 +100,9 @@ fn golden_traces_match_counter_snapshots() {
             panic!("missing golden trace {trace_path:?} ({e}); run D2M_BLESS=1 to create")
         });
         let trace = read_trace(&bytes[..]).expect("valid D2MT trace");
-        let expected = Json::parse(
-            &std::fs::read_to_string(&snap_path).unwrap_or_else(|e| {
-                panic!("missing snapshot {snap_path:?} ({e}); run D2M_BLESS=1 to create")
-            }),
-        )
+        let expected = Json::parse(&std::fs::read_to_string(&snap_path).unwrap_or_else(|e| {
+            panic!("missing snapshot {snap_path:?} ({e}); run D2M_BLESS=1 to create")
+        }))
         .expect("valid snapshot JSON");
         for kind in SYSTEMS {
             let got = drive(kind, &trace);
