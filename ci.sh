@@ -17,4 +17,14 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== throughput harness (smoke) =="
+# The binary panics (non-zero exit) on any protocol error or schema
+# violation; it also self-validates the emitted JSON by re-parsing it.
+cargo run --release -q -p d2m-bench --bin throughput -- --smoke
+test -s BENCH_throughput.json
+for key in name mode systems total accesses_per_sec counter_checksum; do
+    grep -q "\"$key\"" BENCH_throughput.json \
+        || { echo "BENCH_throughput.json missing key: $key"; exit 1; }
+done
+
 echo "== ci.sh: all checks passed =="

@@ -192,7 +192,7 @@ impl Baseline {
     }
 
     #[cfg(test)]
-    pub(crate) fn cfg_lat_walk(&self) -> u32 {
+    pub(crate) fn cfg_lat_walk(&self) -> u64 {
         self.cfg.lat.tlb_walk
     }
 
@@ -275,7 +275,7 @@ impl Baseline {
             let mut late = false;
             if now < pl.ready_at {
                 late = true;
-                latency += (pl.ready_at - now) as u32;
+                latency += pl.ready_at - now;
                 if is_i {
                     self.ctr.late_hits_i += 1;
                 } else {
@@ -381,7 +381,7 @@ impl Baseline {
             serviced = Some(sv);
             // Fill the inclusive L2 on the way in.
             if self.nodes[n].l2.is_some() {
-                self.install_l2(n, line, state, version, now + latency as u64);
+                self.install_l2(n, line, state, version, now + latency);
             }
         }
 
@@ -395,8 +395,8 @@ impl Baseline {
                 debug_assert!(false, "{} {e}", self.kind.name());
             }
         }
-        self.install_l1(n, is_i, line, state, version, now + latency as u64);
-        self.ctr.miss_latency_sum += latency as u64;
+        self.install_l1(n, is_i, line, state, version, now + latency);
+        self.ctr.miss_latency_sum += latency;
         self.ctr.miss_count += 1;
 
         AccessResult {
@@ -409,7 +409,7 @@ impl Baseline {
     }
 
     /// Store hit on a Shared copy: directory-mediated ownership upgrade.
-    fn upgrade_shared(&mut self, n: usize, line: LineAddr) -> u32 {
+    fn upgrade_shared(&mut self, n: usize, line: LineAddr) -> u64 {
         self.ctr.upgrades += 1;
         let me = Endpoint::Node(NodeId::new(n as u8));
         let mut lat = self.noc.send(MsgClass::UpgradeReq, me, Endpoint::FarSide);
@@ -441,7 +441,7 @@ impl Baseline {
     /// Dirty victims write back to the LLC entry. Returns added latency
     /// (one Inv + one Ack round; legs in parallel). `acks_to`: requesting
     /// node, or `None` to ack the far side (back-invalidations).
-    fn invalidate_nodes(&mut self, targets: u8, line: LineAddr, acks_to: Option<usize>) -> u32 {
+    fn invalidate_nodes(&mut self, targets: u8, line: LineAddr, acks_to: Option<usize>) -> u64 {
         if targets == 0 {
             return 0;
         }
@@ -524,11 +524,10 @@ impl Baseline {
         let key = line.raw();
         let mut best: Option<(u64, bool)> = None;
         let node = &mut self.nodes[t];
-        let mut arrays: Vec<&mut SetAssoc<PrivLine>> = vec![&mut node.l1d, &mut node.l1i];
-        if let Some(l2) = &mut node.l2 {
-            arrays.push(l2);
-        }
-        for arr in arrays {
+        for arr in [&mut node.l1d, &mut node.l1i]
+            .into_iter()
+            .chain(node.l2.as_mut())
+        {
             let s = arr.set_index(key);
             if let Some(w) = arr.way_of(s, key) {
                 if let Some((_, pl)) = arr.at_mut(s, w) {
@@ -551,7 +550,7 @@ impl Baseline {
         n: usize,
         line: LineAddr,
         want_store: bool,
-    ) -> (u64, Mesi, u32, ServicedBy) {
+    ) -> (u64, Mesi, u64, ServicedBy) {
         let me = Endpoint::Node(NodeId::new(n as u8));
         let req_class = if want_store {
             MsgClass::ReadExReq
@@ -1031,6 +1030,22 @@ mod tests {
         assert!(r2.l1_hit && r2.late);
         assert!(r2.latency >= r1.latency - 2);
         assert_eq!(sys.raw_counters().late_hits_d, 1);
+    }
+
+    #[test]
+    fn late_hit_latency_survives_waits_beyond_u32() {
+        let mut sys = Baseline::new(&cfg(), BaselineKind::TwoLevel);
+        // Fill far past u32::MAX cycles, then re-access at cycle 0: the
+        // in-flight window exceeds u32::MAX, which a u32 accumulator wraps.
+        let far = u32::MAX as u64 * 4;
+        sys.access(&acc(0, AccessKind::Load, 0x60_0000), far);
+        let r = sys.access(&acc(0, AccessKind::Load, 0x60_0000), 0);
+        assert!(r.l1_hit && r.late);
+        assert!(
+            r.latency > u64::from(u32::MAX),
+            "late-hit latency truncated to {}",
+            r.latency
+        );
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Simulator throughput baseline: replays a fixed mixed workload on every
+//! system and records `BENCH_throughput.json`, so each PR leaves a perf
+//! trajectory behind (accesses/sec, heap allocations on the hot path, and a
+//! per-system counter checksum proving the replay itself is deterministic).
+//!
+//! The binary installs a counting global allocator; the measured window's
+//! allocation count is the hot-path allocation budget — after the arena
+//! refactor it must stay flat with the access count, not grow with it.
+//!
+//! `--smoke` shrinks the replay for CI; the schema is identical.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use d2m_common::json::Json;
+use d2m_common::ToJson;
+use d2m_sim::{AnySystem, SystemKind};
+use d2m_workloads::{catalog, TraceGen};
+
+/// System allocator wrapper counting every allocation on every thread.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One workload per suite: a fixed mix exercising private, shared, scan and
+/// multiprogrammed behavior on every hierarchy.
+const MIX: [&str; 5] = ["swaptions", "ocean_cp", "google", "mix2", "tpc-c"];
+
+const SEED: u64 = 42;
+const OUT: &str = "BENCH_throughput.json";
+
+/// FNV-1a over the deterministic counter JSON: a compact fingerprint that
+/// changes iff any simulation counter changes.
+fn checksum(json: &Json) -> String {
+    let text = json.to_string_compact();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+struct SystemRun {
+    system: &'static str,
+    accesses: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+    counter_checksum: String,
+    wall_secs: f64,
+}
+
+/// Replays the whole mix on one system; the measured window starts after a
+/// short warmup so steady-state hot-path allocation is what gets counted.
+fn run_system(kind: SystemKind, warmup_batches: u64, batches: u64) -> SystemRun {
+    let cfg = d2m_bench::machine();
+    let mut sys = AnySystem::build(kind, &cfg, SEED);
+    let mut batch = Vec::new();
+    let mut accesses = 0u64;
+    let mut gens: Vec<TraceGen> = MIX
+        .iter()
+        .map(|name| {
+            let spec = catalog::by_name(name).expect("mix workload exists");
+            TraceGen::new(&spec, cfg.nodes, SEED)
+        })
+        .collect();
+
+    let mut replay = |sys: &mut AnySystem, gens: &mut [TraceGen], n: u64, count: &mut u64| {
+        for i in 0..n {
+            for g in gens.iter_mut() {
+                batch.clear();
+                g.next_batch(&mut batch);
+                let now = i * 40;
+                for a in &batch {
+                    sys.access(a, now).expect("protocol error during replay");
+                }
+                *count += batch.len() as u64;
+            }
+        }
+    };
+
+    let mut sink = 0u64;
+    replay(&mut sys, &mut gens, warmup_batches, &mut sink);
+
+    let allocs0 = ALLOCS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    replay(&mut sys, &mut gens, batches, &mut accesses);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+
+    SystemRun {
+        system: kind.name(),
+        accesses,
+        allocs,
+        alloc_bytes,
+        counter_checksum: checksum(&sys.counters().to_json()),
+        wall_secs,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (warmup_batches, batches) = if smoke { (50, 200) } else { (2_000, 30_000) };
+    println!(
+        "== throughput — {} batches/workload ({} warmup) × {} workloads × {} systems{} ==",
+        batches,
+        warmup_batches,
+        MIX.len(),
+        SystemKind::ALL.len(),
+        if smoke { "  [--smoke]" } else { "" }
+    );
+
+    let runs: Vec<SystemRun> = SystemKind::ALL
+        .iter()
+        .map(|k| {
+            let r = run_system(*k, warmup_batches, batches);
+            println!(
+                "{:<10} {:>10} accesses  {:>12.0} acc/s  {:>9} allocs  checksum {}",
+                r.system,
+                r.accesses,
+                r.accesses as f64 / r.wall_secs.max(1e-9),
+                r.allocs,
+                r.counter_checksum
+            );
+            r
+        })
+        .collect();
+
+    let total_accesses: u64 = runs.iter().map(|r| r.accesses).sum();
+    let total_allocs: u64 = runs.iter().map(|r| r.allocs).sum();
+    let total_wall: f64 = runs.iter().map(|r| r.wall_secs).sum();
+
+    let systems = runs
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("system".to_string(), Json::Str(r.system.to_string())),
+                ("accesses".to_string(), Json::U64(r.accesses)),
+                ("allocs".to_string(), Json::U64(r.allocs)),
+                ("alloc_bytes".to_string(), Json::U64(r.alloc_bytes)),
+                (
+                    "counter_checksum".to_string(),
+                    Json::Str(r.counter_checksum.clone()),
+                ),
+                ("wall_secs".to_string(), Json::F64(r.wall_secs)),
+                (
+                    "accesses_per_sec".to_string(),
+                    Json::F64(r.accesses as f64 / r.wall_secs.max(1e-9)),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("name".to_string(), Json::Str("throughput".to_string())),
+        (
+            "mode".to_string(),
+            Json::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("seed".to_string(), Json::U64(SEED)),
+        ("warmup_batches".to_string(), Json::U64(warmup_batches)),
+        ("batches_per_workload".to_string(), Json::U64(batches)),
+        (
+            "workloads".to_string(),
+            Json::Arr(MIX.iter().map(|w| Json::Str(w.to_string())).collect()),
+        ),
+        ("systems".to_string(), Json::Arr(systems)),
+        (
+            "total".to_string(),
+            Json::Obj(vec![
+                ("accesses".to_string(), Json::U64(total_accesses)),
+                ("allocs".to_string(), Json::U64(total_allocs)),
+                ("wall_secs".to_string(), Json::F64(total_wall)),
+                (
+                    "accesses_per_sec".to_string(),
+                    Json::F64(total_accesses as f64 / total_wall.max(1e-9)),
+                ),
+            ]),
+        ),
+    ]);
+
+    let text = doc.to_string_pretty();
+    std::fs::write(OUT, &text).expect("write BENCH_throughput.json");
+
+    // Self-validate: the emitted file must parse and carry the schema keys
+    // CI (and cross-PR comparisons) rely on.
+    let back = Json::parse(&text).expect("emitted JSON reparses");
+    for key in [
+        "name",
+        "mode",
+        "seed",
+        "warmup_batches",
+        "batches_per_workload",
+        "workloads",
+        "systems",
+        "total",
+    ] {
+        assert!(back.get(key).is_some(), "missing key {key:?} in {OUT}");
+    }
+    let systems = back.get("systems").and_then(Json::as_array).expect("array");
+    assert_eq!(systems.len(), SystemKind::ALL.len());
+    for s in systems {
+        for key in [
+            "system",
+            "accesses",
+            "allocs",
+            "alloc_bytes",
+            "counter_checksum",
+            "wall_secs",
+            "accesses_per_sec",
+        ] {
+            assert!(s.get(key).is_some(), "missing per-system key {key:?}");
+        }
+    }
+
+    println!(
+        "\ntotal: {} accesses in {:.2}s  ({:.0} accesses/sec, {} allocs)  -> {OUT}",
+        total_accesses,
+        total_wall,
+        total_accesses as f64 / total_wall.max(1e-9),
+        total_allocs
+    );
+}

@@ -1,0 +1,425 @@
+//! A banked set-associative arena: every bank of a replicated structure
+//! (one MD1 per node, one L1 per node, one LLC slice per node, ...) lives
+//! in ONE contiguous allocation, addressed by `(bank, set, way)` arithmetic.
+//!
+//! Semantically each bank is an independent [`crate::SetAssoc`]: it has its
+//! own LRU use-tick and the same hashed/plain set indexing, so replacing a
+//! `Vec<SetAssoc<V>>` (or per-node struct fields) with one [`Banked`] arena
+//! is behavior-preserving down to the exact victim choices — simulation
+//! output stays byte-identical. What changes is the memory layout: the hot
+//! path walks a single flat slice instead of chasing `Vec<Vec<...>>`
+//! indirections, mirroring how D2M's own LI scheme keeps metadata lookups
+//! pointer-free in hardware.
+
+use d2m_common::rng::SimRng;
+
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    key: u64,
+    last_use: u64,
+    value: V,
+}
+
+/// A fixed geometry of `banks × sets × ways` slots in one contiguous arena,
+/// mapping `u64` keys to `V` values within each `(bank, set)`.
+#[derive(Clone, Debug)]
+pub struct Banked<V> {
+    banks: usize,
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<Slot<V>>>,
+    /// One LRU clock per bank — identical tick sequences to per-bank
+    /// `SetAssoc` instances, which is what keeps replacement byte-identical.
+    ticks: Vec<u64>,
+    hashed: bool,
+}
+
+impl<V> Banked<V> {
+    /// Creates an empty arena with plain low-bit set indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two, or `banks`/`ways` is zero.
+    pub fn new(banks: usize, sets: usize, ways: usize) -> Self {
+        Self::build(banks, sets, ways, false)
+    }
+
+    /// Creates an arena whose [`Self::set_index`] XOR-folds the key (the
+    /// skewed indexing used by the metadata stores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two, or `banks`/`ways` is zero.
+    pub fn with_hashed_index(banks: usize, sets: usize, ways: usize) -> Self {
+        Self::build(banks, sets, ways, true)
+    }
+
+    fn build(banks: usize, sets: usize, ways: usize, hashed: bool) -> Self {
+        assert!(banks > 0, "banks must be nonzero");
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        let mut slots = Vec::with_capacity(banks * sets * ways);
+        slots.resize_with(banks * sets * ways, || None);
+        Self {
+            banks,
+            sets,
+            ways,
+            slots,
+            ticks: vec![0; banks],
+            hashed,
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Number of sets per bank.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Set index for a key: low bits, or an XOR-fold of the whole key for
+    /// arenas built with [`Self::with_hashed_index`]. Identical to
+    /// [`crate::SetAssoc::set_index`].
+    #[inline]
+    pub fn set_index(&self, key: u64) -> usize {
+        let k = if self.hashed {
+            key ^ (key >> 10) ^ (key >> 21) ^ (key >> 34)
+        } else {
+            key
+        };
+        (k as usize) & (self.sets - 1)
+    }
+
+    /// Flat offset of `(bank, set)`'s first way — the whole point of the
+    /// arena: one multiply-add instead of two pointer dereferences.
+    #[inline]
+    fn base(&self, bank: usize, set: usize) -> usize {
+        debug_assert!(bank < self.banks, "bank {bank} out of range");
+        debug_assert!(set < self.sets, "set {set} out of range");
+        (bank * self.sets + set) * self.ways
+    }
+
+    #[inline]
+    fn bump(&mut self, bank: usize) -> u64 {
+        self.ticks[bank] += 1;
+        self.ticks[bank]
+    }
+
+    /// Finds the way holding `key` in `(bank, set)`, if present. No LRU
+    /// update.
+    pub fn way_of(&self, bank: usize, set: usize, key: u64) -> Option<usize> {
+        let b = self.base(bank, set);
+        self.slots[b..b + self.ways]
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.key == key))
+    }
+
+    /// Keyed lookup with LRU touch. Returns the value if present.
+    pub fn get(&mut self, bank: usize, set: usize, key: u64) -> Option<&V> {
+        let way = self.way_of(bank, set, key)?;
+        self.touch(bank, set, way);
+        let b = self.base(bank, set);
+        self.slots[b + way].as_ref().map(|s| &s.value)
+    }
+
+    /// Keyed mutable lookup with LRU touch.
+    pub fn get_mut(&mut self, bank: usize, set: usize, key: u64) -> Option<&mut V> {
+        let way = self.way_of(bank, set, key)?;
+        self.touch(bank, set, way);
+        let b = self.base(bank, set);
+        self.slots[b + way].as_mut().map(|s| &mut s.value)
+    }
+
+    /// Keyed lookup without LRU update.
+    pub fn peek(&self, bank: usize, set: usize, key: u64) -> Option<&V> {
+        let way = self.way_of(bank, set, key)?;
+        let b = self.base(bank, set);
+        self.slots[b + way].as_ref().map(|s| &s.value)
+    }
+
+    /// Direct slot read: `(key, value)` at `(bank, set, way)` if occupied.
+    pub fn at(&self, bank: usize, set: usize, way: usize) -> Option<(u64, &V)> {
+        assert!(way < self.ways, "way {way} out of range");
+        let b = self.base(bank, set);
+        self.slots[b + way].as_ref().map(|s| (s.key, &s.value))
+    }
+
+    /// Direct mutable slot access (no LRU update; pair with [`Self::touch`]).
+    pub fn at_mut(&mut self, bank: usize, set: usize, way: usize) -> Option<(u64, &mut V)> {
+        assert!(way < self.ways, "way {way} out of range");
+        let b = self.base(bank, set);
+        self.slots[b + way].as_mut().map(|s| (s.key, &mut s.value))
+    }
+
+    /// Marks `(bank, set, way)` most-recently used.
+    pub fn touch(&mut self, bank: usize, set: usize, way: usize) {
+        let t = self.bump(bank);
+        let b = self.base(bank, set);
+        if let Some(s) = self.slots[b + way].as_mut() {
+            s.last_use = t;
+        }
+    }
+
+    /// True if `(bank, set, way)` is the most-recently-used valid entry of
+    /// its set.
+    pub fn is_mru(&self, bank: usize, set: usize, way: usize) -> bool {
+        let b = self.base(bank, set);
+        let Some(me) = self.slots[b + way].as_ref() else {
+            return false;
+        };
+        self.slots[b..b + self.ways]
+            .iter()
+            .flatten()
+            .all(|s| s.last_use <= me.last_use)
+    }
+
+    /// Inserts at an explicit `(bank, set, way)`, returning any evicted
+    /// `(key, value)`.
+    pub fn insert_at(
+        &mut self,
+        bank: usize,
+        set: usize,
+        way: usize,
+        key: u64,
+        value: V,
+    ) -> Option<(u64, V)> {
+        assert!(way < self.ways, "way {way} out of range");
+        let t = self.bump(bank);
+        let b = self.base(bank, set);
+        let old = self.slots[b + way].replace(Slot {
+            key,
+            last_use: t,
+            value,
+        });
+        old.map(|s| (s.key, s.value))
+    }
+
+    /// Removes and returns the entry at `(bank, set, way)`.
+    pub fn remove(&mut self, bank: usize, set: usize, way: usize) -> Option<(u64, V)> {
+        assert!(way < self.ways, "way {way} out of range");
+        let b = self.base(bank, set);
+        self.slots[b + way].take().map(|s| (s.key, s.value))
+    }
+
+    /// LRU victim way: the first invalid way if any, otherwise the
+    /// least-recently-used way.
+    pub fn victim_way(&self, bank: usize, set: usize) -> usize {
+        let b = self.base(bank, set);
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
+            match slot {
+                None => return w,
+                Some(s) if s.last_use < best => {
+                    best = s.last_use;
+                    victim = w;
+                }
+                _ => {}
+            }
+        }
+        victim
+    }
+
+    /// Random victim way among valid entries (invalid ways still win first).
+    pub fn victim_way_random(&self, bank: usize, set: usize, rng: &mut SimRng) -> usize {
+        let b = self.base(bank, set);
+        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
+            if slot.is_none() {
+                return w;
+            }
+        }
+        rng.below(self.ways as u64) as usize
+    }
+
+    /// Cost-biased victim: picks the valid way minimizing
+    /// `(cost(key, value), last_use)`; invalid ways win outright.
+    pub fn victim_way_with_cost<F>(&self, bank: usize, set: usize, cost: F) -> usize
+    where
+        F: Fn(u64, &V) -> u64,
+    {
+        let b = self.base(bank, set);
+        let mut victim = 0;
+        let mut best = (u64::MAX, u64::MAX);
+        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
+            match slot {
+                None => return w,
+                Some(s) => {
+                    let c = (cost(s.key, &s.value), s.last_use);
+                    if c < best {
+                        best = c;
+                        victim = w;
+                    }
+                }
+            }
+        }
+        victim
+    }
+
+    /// Iterates over the occupied slots of one bank as
+    /// `(set, way, key, &value)`.
+    pub fn iter_bank(&self, bank: usize) -> impl Iterator<Item = (usize, usize, u64, &V)> {
+        let b = self.base(bank, 0);
+        self.slots[b..b + self.sets * self.ways]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| {
+                s.as_ref()
+                    .map(|s| (i / self.ways, i % self.ways, s.key, &s.value))
+            })
+    }
+
+    /// Iterates over the occupied slots of one `(bank, set)` as
+    /// `(way, key, &value)`.
+    pub fn iter_set(&self, bank: usize, set: usize) -> impl Iterator<Item = (usize, u64, &V)> {
+        let b = self.base(bank, set);
+        self.slots[b..b + self.ways]
+            .iter()
+            .enumerate()
+            .filter_map(|(w, s)| s.as_ref().map(|s| (w, s.key, &s.value)))
+    }
+
+    /// Number of occupied slots in `(bank, set)`.
+    pub fn set_occupancy(&self, bank: usize, set: usize) -> usize {
+        let b = self.base(bank, set);
+        self.slots[b..b + self.ways]
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Total occupied slots across all banks.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SetAssoc;
+
+    /// The load-bearing property: one `Banked` arena makes exactly the same
+    /// hit/miss/victim decisions as independent per-bank `SetAssoc`s under
+    /// an interleaved access stream.
+    #[test]
+    fn banked_matches_independent_set_assocs() {
+        let banks = 4;
+        let mut arena: Banked<u64> = Banked::with_hashed_index(banks, 8, 2);
+        let mut split: Vec<SetAssoc<u64>> = (0..banks)
+            .map(|_| SetAssoc::with_hashed_index(8, 2))
+            .collect();
+        let mut rng = SimRng::from_label(7, "banked-equiv");
+        for i in 0..4000u64 {
+            let bank = rng.below(banks as u64) as usize;
+            let key = rng.below(200);
+            let set = arena.set_index(key);
+            assert_eq!(set, split[bank].set_index(key));
+            match rng.below(3) {
+                0 => {
+                    let va = arena.victim_way(bank, set);
+                    let vs = split[bank].victim_way(set);
+                    assert_eq!(va, vs, "victim diverged at step {i}");
+                    let ea = arena.insert_at(bank, set, va, key, i);
+                    let es = split[bank].insert_at(set, vs, key, i);
+                    assert_eq!(ea, es);
+                }
+                1 => {
+                    let wa = arena.way_of(bank, set, key);
+                    let ws = split[bank].way_of(set, key);
+                    assert_eq!(wa, ws);
+                    if let Some(w) = wa {
+                        arena.touch(bank, set, w);
+                        split[bank].touch(set, w);
+                        assert_eq!(arena.is_mru(bank, set, w), split[bank].is_mru(set, w));
+                    }
+                }
+                _ => {
+                    let va = arena.victim_way_with_cost(bank, set, |_, v| *v % 5);
+                    let vs = split[bank].victim_way_with_cost(set, |_, v| *v % 5);
+                    assert_eq!(va, vs, "cost victim diverged at step {i}");
+                }
+            }
+        }
+        for bank in 0..banks {
+            let a: Vec<_> = arena
+                .iter_bank(bank)
+                .map(|(s, w, k, v)| (s, w, k, *v))
+                .collect();
+            let s: Vec<_> = split[bank]
+                .iter()
+                .map(|(s, w, k, v)| (s, w, k, *v))
+                .collect();
+            assert_eq!(a, s);
+        }
+    }
+
+    #[test]
+    fn banks_have_independent_lru_clocks() {
+        let mut c: Banked<u64> = Banked::new(2, 1, 2);
+        c.insert_at(0, 0, 0, 1, 1);
+        c.insert_at(0, 0, 1, 2, 2);
+        // Bank 1 activity must not disturb bank 0's recency order.
+        for i in 0..10 {
+            c.insert_at(1, 0, (i % 2) as usize, 50 + i, i);
+        }
+        c.touch(0, 0, 0);
+        assert_eq!(c.victim_way(0, 0), 1);
+        assert!(c.is_mru(0, 0, 0));
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut c: Banked<&'static str> = Banked::new(2, 2, 2);
+        c.insert_at(1, 1, 1, 42, "hello");
+        assert_eq!(c.at(1, 1, 1), Some((42, &"hello")));
+        assert_eq!(c.at(1, 1, 0), None);
+        assert_eq!(c.at(0, 1, 1), None, "other bank is untouched");
+        assert_eq!(c.peek(1, 1, 42), Some(&"hello"));
+        assert_eq!(c.get(1, 1, 42), Some(&"hello"));
+        *c.get_mut(1, 1, 42).unwrap() = "world";
+        assert_eq!(c.remove(1, 1, 1), Some((42, "world")));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn iter_set_and_occupancy_scope_to_bank() {
+        let mut c: Banked<u64> = Banked::new(3, 2, 2);
+        c.insert_at(2, 0, 0, 1, 10);
+        c.insert_at(2, 0, 1, 2, 20);
+        c.insert_at(0, 0, 0, 3, 30);
+        assert_eq!(c.set_occupancy(2, 0), 2);
+        assert_eq!(c.set_occupancy(1, 0), 0);
+        assert_eq!(c.iter_set(2, 0).count(), 2);
+        assert_eq!(c.iter_bank(2).count(), 2);
+        assert_eq!(c.occupancy(), 3);
+    }
+
+    #[test]
+    fn random_victim_prefers_invalid_ways() {
+        let mut rng = SimRng::from_label(1, "banked-victim");
+        let mut c: Banked<u64> = Banked::new(1, 1, 4);
+        c.insert_at(0, 0, 0, 1, 1);
+        assert_eq!(c.victim_way_random(0, 0, &mut rng), 1);
+        for w in 1..4 {
+            c.insert_at(0, 0, w, w as u64 + 1, 0);
+        }
+        for _ in 0..50 {
+            assert!(c.victim_way_random(0, 0, &mut rng) < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "way")]
+    fn at_rejects_out_of_range_way() {
+        let c: Banked<u64> = Banked::new(1, 2, 2);
+        let _ = c.at(0, 0, 2);
+    }
+}

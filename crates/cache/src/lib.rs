@@ -4,6 +4,10 @@
 //!   cost-biased victim selection (used by the metadata stores' region-aware
 //!   policies) and direct `(set, way)` addressing (used by D2M's tag-less
 //!   data arrays, which are never searched by key).
+//! * [`banked`] — a banked arena of set-associative banks in one contiguous
+//!   allocation, addressed by `(bank, set, way)` arithmetic; per-bank
+//!   structures (MD1s, L1s, LLC slices) flatten onto it with byte-identical
+//!   replacement behavior.
 //! * [`tlb`] — a small TLB model with deterministic translation.
 //! * [`scramble`] — index-scrambling helpers for the paper's dynamic-indexing
 //!   optimization (§IV-D).
@@ -20,9 +24,11 @@
 //! assert_eq!(l1.get(set, 0x40), Some(&7));
 //! ```
 
+pub mod banked;
 pub mod scramble;
 pub mod set_assoc;
 pub mod tlb;
 
+pub use banked::Banked;
 pub use set_assoc::SetAssoc;
 pub use tlb::Tlb;

@@ -58,29 +58,29 @@ impl CacheGeometry {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Latencies {
     /// L1 (I or D) array access, hit latency.
-    pub l1: u32,
+    pub l1: u64,
     /// MD1 lookup (overlapped with L1 access on hits).
-    pub md1: u32,
+    pub md1: u64,
     /// Private L2 (Base-3L) array access.
-    pub l2: u32,
+    pub l2: u64,
     /// Local near-side LLC slice access (no interconnect crossing).
-    pub ns_slice: u32,
+    pub ns_slice: u64,
     /// One interconnect traversal (node ↔ far side, or node ↔ node).
-    pub noc: u32,
+    pub noc: u64,
     /// Far-side LLC data-array access (excluding interconnect).
-    pub llc: u32,
+    pub llc: u64,
     /// MD2 lookup.
-    pub md2: u32,
+    pub md2: u64,
     /// TLB2 lookup (on the MD2 path; TLB1 is replaced by MD1 in D2M).
-    pub tlb2: u32,
+    pub tlb2: u64,
     /// MD3 lookup (far side; excluding interconnect).
-    pub md3: u32,
+    pub md3: u64,
     /// Directory lookup in the baselines (embedded with the LLC tags).
-    pub directory: u32,
+    pub directory: u64,
     /// Main memory access (from the far side).
-    pub mem: u32,
+    pub mem: u64,
     /// Page-table walk on a TLB miss.
-    pub tlb_walk: u32,
+    pub tlb_walk: u64,
 }
 
 impl Default for Latencies {

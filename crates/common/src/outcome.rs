@@ -69,7 +69,7 @@ impl ServicedBy {
 #[derive(Clone, Copy, Debug)]
 pub struct AccessResult {
     /// End-to-end latency in cycles (including the L1 access itself).
-    pub latency: u32,
+    pub latency: u64,
     /// True when the access hit in L1.
     pub l1_hit: bool,
     /// True when the access hit a line whose fill had not yet completed
@@ -85,7 +85,7 @@ pub struct AccessResult {
 
 impl AccessResult {
     /// Convenience constructor for a plain L1 hit.
-    pub fn l1_hit(latency: u32) -> Self {
+    pub fn l1_hit(latency: u64) -> Self {
         Self {
             latency,
             l1_hit: true,

@@ -102,7 +102,7 @@ pub struct TxnEvent {
     /// On-chip messages this transaction put on the interconnect.
     pub hops: u64,
     /// End-to-end latency in cycles.
-    pub latency: u32,
+    pub latency: u64,
 }
 
 /// Receiver of transaction events. All methods default to no-ops so
@@ -297,8 +297,8 @@ impl Probe for RecordingProbe {
         self.by_kind[ev.kind.index()] += 1;
         self.by_level[ev.level.index()] += 1;
         self.by_serviced[ev.serviced.index()] += 1;
-        self.latency.record(ev.latency as u64);
-        self.latency_by_serviced[ev.serviced.index()].record(ev.latency as u64);
+        self.latency.record(ev.latency);
+        self.latency_by_serviced[ev.serviced.index()].record(ev.latency);
         self.hops.record(ev.hops);
     }
 

@@ -48,8 +48,8 @@ impl D2mSystem {
     /// active LI, or through some copy's RP chain. An orphaned master would
     /// eventually be re-fetched from memory, creating a second master.
     fn check_no_orphan_masters(&self) -> Result<(), String> {
-        for slice in 0..self.llc.len() {
-            for (_, way_all, key, dl) in self.llc[slice].iter() {
+        for slice in 0..self.llc.banks() {
+            for (_, way_all, key, dl) in self.llc.iter_bank(slice) {
                 if !dl.master {
                     continue;
                 }
@@ -59,7 +59,7 @@ impl D2mSystem {
                 let me = {
                     // Reconstruct this slot's LI name.
                     let set_check = self.llc_set(line, slice);
-                    let way = self.llc[slice].way_of(set_check, key).expect("present");
+                    let way = self.llc.way_of(slice, set_check, key).expect("present");
                     debug_assert_eq!(way, way_all);
                     self.li_of_llc(slice, way)
                 };
@@ -83,15 +83,15 @@ impl D2mSystem {
                         }
                     }
                     if let Some((kind, s, w)) = self.node_slot_of(n, line) {
-                        if self.arr(n, kind).at(s, w).map(|(_, d)| d.rp) == Some(me) {
+                        if self.arr(kind).at(n, s, w).map(|(_, d)| d.rp) == Some(me) {
                             referenced = true;
                             break;
                         }
                     }
                     if self.feats.near_side {
                         let s = self.llc_set(line, n);
-                        if let Some(w) = self.llc[n].way_of(s, key) {
-                            if self.llc[n].at(s, w).map(|(_, d)| d.rp) == Some(me) {
+                        if let Some(w) = self.llc.way_of(n, s, key) {
+                            if self.llc.at(n, s, w).map(|(_, d)| d.rp) == Some(me) {
                                 referenced = true;
                                 break;
                             }
@@ -115,7 +115,7 @@ impl D2mSystem {
     fn check_pb_md2_mirror(&self) -> Result<(), String> {
         // PB bit set ⇔ node has an MD2 entry.
         for n in 0..self.nodes_count() {
-            for (_, _, key, _) in self.nodes[n].md2.iter() {
+            for (_, _, key, _) in self.md2.iter_bank(n) {
                 let set3 = self.md3.set_index(key);
                 let Some(e3) = self.md3.peek(set3, key) else {
                     return Err(format!("MD2 region {key:#x} at node {n} missing from MD3"));
@@ -129,13 +129,11 @@ impl D2mSystem {
         }
         for (_, _, key, e3) in self.md3.iter() {
             for n in 0..self.nodes_count() {
-                if e3.pb & (1 << n) != 0 {
-                    let md2 = &self.nodes[n].md2;
-                    if md2.peek(md2.set_index(key), key).is_none() {
-                        return Err(format!(
-                            "PB bit set for node {n} on region {key:#x} without an MD2 entry"
-                        ));
-                    }
+                if e3.pb & (1 << n) != 0 && self.md2.peek(n, self.md2.set_index(key), key).is_none()
+                {
+                    return Err(format!(
+                        "PB bit set for node {n} on region {key:#x} without an MD2 entry"
+                    ));
                 }
             }
         }
@@ -144,13 +142,13 @@ impl D2mSystem {
 
     fn check_tracking_pointers(&self) -> Result<(), String> {
         for n in 0..self.nodes_count() {
-            for (_, _, key, e2) in self.nodes[n].md2.iter() {
+            for (_, _, key, e2) in self.md2.iter_bank(n) {
                 if let Some(tp) = e2.tp {
                     let arr = match tp.side {
-                        Md1Side::Instruction => &self.nodes[n].md1i,
-                        Md1Side::Data => &self.nodes[n].md1d,
+                        Md1Side::Instruction => &self.md1i,
+                        Md1Side::Data => &self.md1d,
                     };
-                    match arr.at(tp.set as usize, tp.way as usize) {
+                    match arr.at(n, tp.set as usize, tp.way as usize) {
                         Some((_, e1)) if e1.region.raw() == key => {}
                         _ => {
                             return Err(format!(
@@ -161,13 +159,12 @@ impl D2mSystem {
                 }
             }
             for (side, arr) in [
-                (Md1Side::Instruction, &self.nodes[n].md1i),
-                (Md1Side::Data, &self.nodes[n].md1d),
+                (Md1Side::Instruction, &self.md1i),
+                (Md1Side::Data, &self.md1d),
             ] {
-                for (set1, way1, _, e1) in arr.iter() {
+                for (set1, way1, _, e1) in arr.iter_bank(n) {
                     let key = e1.region.raw();
-                    let md2 = &self.nodes[n].md2;
-                    let Some(e2) = md2.peek(md2.set_index(key), key) else {
+                    let Some(e2) = self.md2.peek(n, self.md2.set_index(key), key) else {
                         return Err(format!(
                             "node {n} MD1 entry for region {key:#x} has no MD2 backing"
                         ));
@@ -202,7 +199,7 @@ impl D2mSystem {
 
     fn check_active_li_determinism(&self) -> Result<(), String> {
         for n in 0..self.nodes_count() {
-            for (_, _, key, e2) in self.nodes[n].md2.iter() {
+            for (_, _, key, e2) in self.md2.iter_bank(n) {
                 let region = RegionAddr::new(key);
                 let lis = self.active_lis(n, region).expect("entry exists");
                 let is_i = e2.is_icache;
@@ -212,7 +209,7 @@ impl D2mSystem {
                         Li::L1 { way } => {
                             let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
                             let set = self.l1_set(line);
-                            match self.arr(n, kind).at(set, way as usize) {
+                            match self.arr(kind).at(n, set, way as usize) {
                                 Some((k, dl)) if k == line.raw() && dl.serveable() => {}
                                 _ => {
                                     return Err(format!(
@@ -228,7 +225,7 @@ impl D2mSystem {
                                 ));
                             }
                             let set = self.l2_set(line);
-                            match self.arr(n, ArrKind::L2).at(set, way as usize) {
+                            match self.arr(ArrKind::L2).at(n, set, way as usize) {
                                 Some((k, dl)) if k == line.raw() && dl.serveable() => {}
                                 _ => {
                                     return Err(format!(
@@ -241,7 +238,7 @@ impl D2mSystem {
                             let (slice, way) =
                                 self.llc_slice_way(*li).map_err(|e| e.to_string())?;
                             let set = self.llc_set(line, slice);
-                            match self.llc[slice].at(set, way) {
+                            match self.llc.at(slice, set, way) {
                                 Some((k, dl)) if k == line.raw() && dl.serveable() => {}
                                 _ => {
                                     return Err(format!(
@@ -257,8 +254,8 @@ impl D2mSystem {
                             match self.node_slot_of(m.index(), line) {
                                 Some((kind, set, way)) => {
                                     let dl = self
-                                        .arr(m.index(), kind)
-                                        .at(set, way)
+                                        .arr(kind)
+                                        .at(m.index(), set, way)
                                         .map(|(_, dl)| *dl)
                                         .expect("occupied");
                                     if !dl.master {
@@ -308,7 +305,7 @@ impl D2mSystem {
                     Li::LlcFs { .. } | Li::LlcNs { .. } => {
                         let (slice, way) = self.llc_slice_way(*li).map_err(|e| e.to_string())?;
                         let set = self.llc_set(line, slice);
-                        match self.llc[slice].at(set, way) {
+                        match self.llc.at(slice, set, way) {
                             Some((k, dl)) if k == line.raw() && dl.master => {}
                             _ => {
                                 return Err(format!(
@@ -320,8 +317,8 @@ impl D2mSystem {
                     Li::Node(m) => match self.node_slot_of(m.index(), line) {
                         Some((kind, set, way)) => {
                             let dl = self
-                                .arr(m.index(), kind)
-                                .at(set, way)
+                                .arr(kind)
+                                .at(m.index(), set, way)
                                 .map(|(_, dl)| *dl)
                                 .expect("occupied");
                             if !dl.master {
@@ -354,11 +351,11 @@ impl D2mSystem {
                 &[ArrKind::L1I, ArrKind::L1D]
             };
             for kind in kinds.iter().copied() {
-                for (_, _, key, _) in self.arr(n, kind).iter() {
+                for (_, _, key, _) in self.arr(kind).iter_bank(n) {
                     let region = LineAddr::new(key).region();
-                    let md2 = &self.nodes[n].md2;
-                    if md2
-                        .peek(md2.set_index(region.raw()), region.raw())
+                    if self
+                        .md2
+                        .peek(n, self.md2.set_index(region.raw()), region.raw())
                         .is_none()
                     {
                         return Err(format!(
@@ -369,12 +366,12 @@ impl D2mSystem {
             }
             // NS replicas in the node's slice must be MD2-tracked too.
             if self.feats.near_side {
-                for (_, _, key, dl) in self.llc[n].iter() {
+                for (_, _, key, dl) in self.llc.iter_bank(n) {
                     if !dl.master && !dl.stale {
                         let region = LineAddr::new(key).region();
-                        let md2 = &self.nodes[n].md2;
-                        if md2
-                            .peek(md2.set_index(region.raw()), region.raw())
+                        if self
+                            .md2
+                            .peek(n, self.md2.set_index(region.raw()), region.raw())
                             .is_none()
                         {
                             return Err(format!(
@@ -386,8 +383,8 @@ impl D2mSystem {
             }
         }
         // Every LLC-resident line's region must be in MD3.
-        for slice in 0..self.llc.len() {
-            for (_, _, key, _) in self.llc[slice].iter() {
+        for slice in 0..self.llc.banks() {
+            for (_, _, key, _) in self.llc.iter_bank(slice) {
                 let region = LineAddr::new(key).region();
                 if self
                     .md3
@@ -417,7 +414,7 @@ impl D2mSystem {
                 &[ArrKind::L1I, ArrKind::L1D]
             };
             for kind in kinds.iter().copied() {
-                for (_, _, key, dl) in self.arr(n, kind).iter() {
+                for (_, _, key, dl) in self.arr(kind).iter_bank(n) {
                     record(key, dl.master, format!("node {n} {kind:?}"));
                     if dl.serveable() {
                         let want = self.oracle.latest(LineAddr::new(key));
@@ -431,8 +428,8 @@ impl D2mSystem {
                 }
             }
         }
-        for slice in 0..self.llc.len() {
-            for (set, way, key, dl) in self.llc[slice].iter() {
+        for slice in 0..self.llc.banks() {
+            for (set, way, key, dl) in self.llc.iter_bank(slice) {
                 record(
                     key,
                     dl.master,
@@ -469,7 +466,7 @@ impl D2mSystem {
                 &[ArrKind::L1I, ArrKind::L1D]
             };
             for kind in kinds.iter().copied() {
-                for (_, _, key, _) in self.arr(n, kind).iter() {
+                for (_, _, key, _) in self.arr(kind).iter_bank(n) {
                     if masters.get(&key).map_or(0, |v| v.len()) == 0 {
                         let line = LineAddr::new(key);
                         if self.oracle.memory(line) != self.oracle.latest(line) {
@@ -496,7 +493,7 @@ impl D2mSystem {
                 &[ArrKind::L1I, ArrKind::L1D]
             };
             for kind in kinds.iter().copied() {
-                for (_, _, key, dl) in self.arr(n, kind).iter() {
+                for (_, _, key, dl) in self.arr(kind).iter_bank(n) {
                     if !dl.master {
                         continue;
                     }
@@ -506,7 +503,7 @@ impl D2mSystem {
                             let (slice, way) =
                                 self.llc_slice_way(dl.rp).map_err(|e| e.to_string())?;
                             let set = self.llc_set(line, slice);
-                            match self.llc[slice].at(set, way) {
+                            match self.llc.at(slice, set, way) {
                                 Some((k, _)) if k == key => {}
                                 other => {
                                     return Err(format!(

@@ -117,7 +117,7 @@ impl D2mSystem {
             let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
             let set = self.l1_set(line);
             self.energy.record(EnergyEvent::L1Array, 1);
-            let slot = match self.arr(node, kind).at(set, way as usize) {
+            let slot = match self.arr(kind).at(node, set, way as usize) {
                 Some((k, dl)) if k == line.raw() => *dl,
                 _ => {
                     // A deterministic-LI violation: fall back to memory.
@@ -131,7 +131,7 @@ impl D2mSystem {
             let mut late = false;
             if now < slot.ready_at {
                 late = true;
-                latency += (slot.ready_at - now) as u32;
+                latency += slot.ready_at - now;
                 if is_i {
                     self.ctr.late_hits_i += 1;
                 } else {
@@ -151,7 +151,7 @@ impl D2mSystem {
                     debug_assert!(false, "{e}");
                 }
             }
-            self.arr_mut(node, kind).touch(set, way as usize);
+            self.arr_mut(kind).touch(node, set, way as usize);
             return Ok(AccessResult {
                 latency,
                 l1_hit: true,
@@ -177,7 +177,7 @@ impl D2mSystem {
         md: MdRef,
         private: bool,
         md_hit: bool,
-        mut latency: u32,
+        mut latency: u64,
         now: u64,
     ) -> Result<AccessResult, ProtocolError> {
         if is_i {
@@ -230,11 +230,11 @@ impl D2mSystem {
         }
 
         let mut dl = dl;
-        dl.ready_at = now + latency as u64;
+        dl.ready_at = now + latency;
         let way = self.install_l1(node, is_i, line, dl)?;
         self.li_set(node, md, off, Li::L1 { way: way as u8 });
 
-        self.ctr.miss_latency_sum += latency as u64;
+        self.ctr.miss_latency_sum += latency;
         self.ctr.miss_count += 1;
         Ok(AccessResult {
             latency,
@@ -255,23 +255,22 @@ impl D2mSystem {
         node: usize,
         is_i: bool,
         a: &Access,
-    ) -> Result<(MdRef, RegionAddr, bool, u32), ProtocolError> {
+    ) -> Result<(MdRef, RegionAddr, bool, u64), ProtocolError> {
         if self.feats.traditional_l1 {
             return self.resolve_metadata_traditional(node, is_i, a);
         }
         let key1 = Self::md1_key(a.vaddr.vregion().raw(), a.asid.0);
         self.ctr.md1_accesses += 1;
         self.energy.record(EnergyEvent::Md1, 1);
-        let md1 = if is_i {
-            &mut self.nodes[node].md1i
-        } else {
-            &mut self.nodes[node].md1d
-        };
+        let md1 = if is_i { &mut self.md1i } else { &mut self.md1d };
         let set1 = md1.set_index(key1);
-        if let Some(way1) = md1.way_of(set1, key1) {
+        if let Some(way1) = md1.way_of(node, set1, key1) {
             self.ctr.md1_hits += 1;
-            md1.touch(set1, way1);
-            let region = md1.at(set1, way1).map(|(_, e)| e.region).expect("occupied");
+            md1.touch(node, set1, way1);
+            let region = md1
+                .at(node, set1, way1)
+                .map(|(_, e)| e.region)
+                .expect("occupied");
             return Ok((
                 MdRef::Md1 {
                     is_i,
@@ -287,18 +286,18 @@ impl D2mSystem {
         // MD1 miss: TLB2 translation + MD2 lookup.
         let mut lat = self.cfg.lat.tlb2 + self.cfg.lat.md2;
         self.energy.record(EnergyEvent::Tlb, 1);
-        let (paddr, tlb_hit) = self.nodes[node].tlb2.access(a.asid, a.vaddr);
+        let (paddr, tlb_hit) = self.tlb2[node].access(a.asid, a.vaddr);
         if !tlb_hit {
             lat += self.cfg.lat.tlb_walk;
         }
         let region = paddr.region();
         self.ctr.md2_accesses += 1;
         self.energy.record(EnergyEvent::Md2, 1);
-        let md2 = &mut self.nodes[node].md2;
+        let md2 = &mut self.md2;
         let set2 = md2.set_index(region.raw());
-        let (md_hit, set2, way2) = if let Some(way2) = md2.way_of(set2, region.raw()) {
+        let (md_hit, set2, way2) = if let Some(way2) = md2.way_of(node, set2, region.raw()) {
             self.ctr.md2_hits += 1;
-            md2.touch(set2, way2);
+            md2.touch(node, set2, way2);
             (true, set2, way2)
         } else {
             // Case D: fetch region metadata from MD3.
@@ -319,10 +318,10 @@ impl D2mSystem {
         node: usize,
         is_i: bool,
         a: &Access,
-    ) -> Result<(MdRef, RegionAddr, bool, u32), ProtocolError> {
+    ) -> Result<(MdRef, RegionAddr, bool, u64), ProtocolError> {
         self.energy.record(EnergyEvent::Tlb, 1);
         self.energy.record(EnergyEvent::L1TagWay, 1);
-        let (paddr, tlb_hit) = self.nodes[node].tlb2.access(a.asid, a.vaddr);
+        let (paddr, tlb_hit) = self.tlb2[node].access(a.asid, a.vaddr);
         let mut lat = 0;
         if !tlb_hit {
             lat += self.cfg.lat.tlb_walk;
@@ -330,11 +329,11 @@ impl D2mSystem {
         let region = paddr.region();
         self.ctr.md2_accesses += 1;
         self.energy.record(EnergyEvent::Md2, 1);
-        let md2 = &mut self.nodes[node].md2;
+        let md2 = &mut self.md2;
         let set2 = md2.set_index(region.raw());
-        let (md_hit, set2, way2) = if let Some(way2) = md2.way_of(set2, region.raw()) {
+        let (md_hit, set2, way2) = if let Some(way2) = md2.way_of(node, set2, region.raw()) {
             self.ctr.md2_hits += 1;
-            md2.touch(set2, way2);
+            md2.touch(node, set2, way2);
             (true, set2, way2)
         } else {
             let (private, li, dlat) = self.md3_transaction(node, region)?;
@@ -344,9 +343,9 @@ impl D2mSystem {
         };
         // MD1 is never used in this mode, so the MD2 entry is always
         // authoritative.
-        let e2 = self.nodes[node]
+        let e2 = self
             .md2
-            .at(set2, way2)
+            .at(node, set2, way2)
             .map(|(_, e)| *e)
             .expect("occupied");
         debug_assert!(e2.tp.is_none(), "traditional mode never activates MD1");
@@ -359,9 +358,9 @@ impl D2mSystem {
                 ArrKind::L1D
             };
             for off in 0..LINES_PER_REGION {
-                let li = self.nodes[node]
+                let li = self
                     .md2
-                    .at(set2, way2)
+                    .at(node, set2, way2)
                     .map(|(_, e)| e.li[off])
                     .expect("occupied");
                 if let Li::L1 { way: lway } = li {
@@ -371,7 +370,7 @@ impl D2mSystem {
                 }
             }
         }
-        let (_, e2m) = self.nodes[node].md2.at_mut(set2, way2).expect("occupied");
+        let (_, e2m) = self.md2.at_mut(node, set2, way2).expect("occupied");
         e2m.is_icache = is_i;
         Ok((
             MdRef::Md2 {
@@ -395,25 +394,22 @@ impl D2mSystem {
         md2_set: usize,
         md2_way: usize,
     ) -> Result<MdRef, ProtocolError> {
-        let e2 = *self.nodes[node]
+        let e2 = *self
             .md2
-            .at(md2_set, md2_way)
+            .at(node, md2_set, md2_way)
             .map(|(_, e)| e)
             .expect("occupied");
         // Fold the active MD1 entry (possibly on the other side) back into
         // MD2 so the MD2 entry is authoritative while we shuffle.
         if let Some(tp) = e2.tp {
             let arr = match tp.side {
-                Md1Side::Instruction => &mut self.nodes[node].md1i,
-                Md1Side::Data => &mut self.nodes[node].md1d,
+                Md1Side::Instruction => &mut self.md1i,
+                Md1Side::Data => &mut self.md1d,
             };
             let (_, e1) = arr
-                .remove(tp.set as usize, tp.way as usize)
+                .remove(node, tp.set as usize, tp.way as usize)
                 .expect("TP names a live MD1 entry");
-            let (_, e2m) = self.nodes[node]
-                .md2
-                .at_mut(md2_set, md2_way)
-                .expect("occupied");
+            let (_, e2m) = self.md2.at_mut(node, md2_set, md2_way).expect("occupied");
             e2m.li = e1.li;
             e2m.private = e1.private;
             e2m.tp = None;
@@ -428,9 +424,9 @@ impl D2mSystem {
                 ArrKind::L1D
             };
             for off in 0..LINES_PER_REGION {
-                let li = self.nodes[node]
+                let li = self
                     .md2
-                    .at(md2_set, md2_way)
+                    .at(node, md2_set, md2_way)
                     .map(|(_, e)| e.li[off])
                     .expect("occupied");
                 if let Li::L1 { way: lway } = li {
@@ -440,36 +436,29 @@ impl D2mSystem {
                 }
             }
         }
-        let (li, private) = self.nodes[node]
+        let (li, private) = self
             .md2
-            .at(md2_set, md2_way)
+            .at(node, md2_set, md2_way)
             .map(|(_, e)| (e.li, e.private))
             .expect("occupied");
 
-        let md1 = if is_i {
-            &mut self.nodes[node].md1i
-        } else {
-            &mut self.nodes[node].md1d
-        };
+        let md1 = if is_i { &mut self.md1i } else { &mut self.md1d };
         let set1 = md1.set_index(key1);
-        let way1 = md1.victim_way(set1);
-        if let Some((_, victim)) = md1.remove(set1, way1) {
+        let way1 = md1.victim_way(node, set1);
+        if let Some((_, victim)) = md1.remove(node, set1, way1) {
             // Deactivate the victim: its LIs flow back to its MD2 entry.
             let vkey = victim.region.raw();
-            let md2 = &mut self.nodes[node].md2;
+            let md2 = &mut self.md2;
             let vset = md2.set_index(vkey);
-            let vway = md2.way_of(vset, vkey).expect("metadata inclusion");
-            let (_, ve) = md2.at_mut(vset, vway).expect("occupied");
+            let vway = md2.way_of(node, vset, vkey).expect("metadata inclusion");
+            let (_, ve) = md2.at_mut(node, vset, vway).expect("occupied");
             ve.li = victim.li;
             ve.private = victim.private;
             ve.tp = None;
         }
-        let md1 = if is_i {
-            &mut self.nodes[node].md1i
-        } else {
-            &mut self.nodes[node].md1d
-        };
+        let md1 = if is_i { &mut self.md1i } else { &mut self.md1d };
         md1.insert_at(
+            node,
             set1,
             way1,
             key1,
@@ -479,10 +468,7 @@ impl D2mSystem {
                 li,
             },
         );
-        let (_, e2) = self.nodes[node]
-            .md2
-            .at_mut(md2_set, md2_way)
-            .expect("occupied");
+        let (_, e2) = self.md2.at_mut(node, md2_set, md2_way).expect("occupied");
         e2.tp = Some(TrackingPtr {
             side: if is_i {
                 Md1Side::Instruction
@@ -506,7 +492,7 @@ impl D2mSystem {
         &mut self,
         node: usize,
         region: RegionAddr,
-    ) -> Result<(bool, [Li; LINES_PER_REGION], u32), ProtocolError> {
+    ) -> Result<(bool, [Li; LINES_PER_REGION], u64), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let mut lat = self.noc.send(MsgClass::ReadMM, me, Endpoint::FarSide);
         lat += self.cfg.lat.md3;
@@ -627,7 +613,7 @@ impl D2mSystem {
                     let set = self.l1_set(line);
                     let is_i = self.region_is_icache(owner, region);
                     let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
-                    match self.arr(owner, kind).at(set, way as usize) {
+                    match self.arr(kind).at(owner, set, way as usize) {
                         Some((k, dl)) if k == line.raw() => {
                             if dl.master {
                                 Li::Node(NodeId::new(owner as u8))
@@ -652,7 +638,7 @@ impl D2mSystem {
                 }
                 Li::L2 { way } if self.feats.private_l2 => {
                     let set = self.l2_set(line);
-                    match self.arr(owner, ArrKind::L2).at(set, way as usize) {
+                    match self.arr(ArrKind::L2).at(owner, set, way as usize) {
                         Some((k, dl)) if k == line.raw() => {
                             if dl.master {
                                 Li::Node(NodeId::new(owner as u8))
@@ -690,7 +676,7 @@ impl D2mSystem {
                 Li::LlcFs { .. } | Li::LlcNs { .. } => {
                     let (slice, way) = self.llc_slice_way(cur)?;
                     let set = self.llc_set(line, slice);
-                    match self.llc[slice].at(set, way) {
+                    match self.llc.at(slice, set, way) {
                         Some((k, dl)) if k == line.raw() && !dl.master && !dl.stale => {
                             cur = dl.rp;
                         }
@@ -705,10 +691,10 @@ impl D2mSystem {
 
     /// Whether `region` is currently an instruction-side region at `node`.
     fn region_is_icache(&self, node: usize, region: RegionAddr) -> bool {
-        let md2 = &self.nodes[node].md2;
+        let md2 = &self.md2;
         let set = md2.set_index(region.raw());
-        md2.way_of(set, region.raw())
-            .and_then(|w| md2.at(set, w))
+        md2.way_of(node, set, region.raw())
+            .and_then(|w| md2.at(node, set, w))
             .map(|(_, e)| e.is_icache)
             .unwrap_or(false)
     }
@@ -723,17 +709,18 @@ impl D2mSystem {
         li: [Li; LINES_PER_REGION],
         is_i: bool,
     ) -> Result<(usize, usize), ProtocolError> {
-        let md2 = &self.nodes[node].md2;
+        let md2 = &self.md2;
         let set = md2.set_index(region.raw());
         // Region-aware replacement: prefer inactive regions with few
         // node-resident lines (paper §II-A).
-        let way = md2.victim_way_with_cost(set, |_, e: &Md2Entry| {
+        let way = md2.victim_way_with_cost(node, set, |_, e: &Md2Entry| {
             e.node_resident_lines() + if e.tp.is_some() { 64 } else { 0 }
         });
-        if self.nodes[node].md2.at(set, way).is_some() {
+        if self.md2.at(node, set, way).is_some() {
             self.evict_md2_entry(node, set, way, true)?;
         }
-        self.nodes[node].md2.insert_at(
+        self.md2.insert_at(
+            node,
             set,
             way,
             region.raw(),
@@ -760,7 +747,7 @@ impl D2mSystem {
         line: LineAddr,
         _off: usize,
         li: Li,
-    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
+    ) -> Result<(u64, ServicedBy, DataLine), ProtocolError> {
         match li {
             Li::L2 { way } if self.feats.private_l2 => {
                 self.serve_l2_local(node, line, way as usize)
@@ -786,10 +773,10 @@ impl D2mSystem {
         is_i: bool,
         line: LineAddr,
         li: Li,
-    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
+    ) -> Result<(u64, ServicedBy, DataLine), ProtocolError> {
         let (slice, way) = self.llc_slice_way(li)?;
         let set = self.llc_set(line, slice);
-        let slot = match self.llc[slice].at(set, way) {
+        let slot = match self.llc.at(slice, set, way) {
             Some((k, dl)) if k == line.raw() && dl.serveable() => *dl,
             _ => {
                 self.ctr.determinism_errors += 1;
@@ -797,8 +784,8 @@ impl D2mSystem {
                 return self.serve_memory(node, line, is_i);
             }
         };
-        let was_mru = self.llc[slice].is_mru(set, way);
-        self.llc[slice].touch(set, way);
+        let was_mru = self.llc.is_mru(slice, set, way);
+        self.llc.touch(slice, set, way);
         self.note_region_reuse(node, line.region());
 
         let me = Endpoint::Node(NodeId::new(node as u8));
@@ -855,9 +842,9 @@ impl D2mSystem {
         node: usize,
         line: LineAddr,
         way: usize,
-    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
+    ) -> Result<(u64, ServicedBy, DataLine), ProtocolError> {
         let set = self.l2_set(line);
-        let slot = match self.arr(node, ArrKind::L2).at(set, way) {
+        let slot = match self.arr(ArrKind::L2).at(node, set, way) {
             Some((k, dl)) if k == line.raw() && dl.serveable() => *dl,
             _ => {
                 self.ctr.determinism_errors += 1;
@@ -870,8 +857,8 @@ impl D2mSystem {
         let dl = if slot.master {
             // Keep the slot as the (stale) victim location for the new L1
             // master.
-            let arr = self.arr_mut(node, ArrKind::L2);
-            let (_, v) = arr.at_mut(set, way).expect("occupied");
+            let arr = self.arr_mut(ArrKind::L2);
+            let (_, v) = arr.at_mut(node, set, way).expect("occupied");
             v.master = false;
             v.stale = true;
             let mut dl = DataLine::master(slot.version, 0, slot.dirty, Li::L2 { way: way as u8 });
@@ -879,7 +866,7 @@ impl D2mSystem {
             dl.dirty = slot.dirty;
             dl
         } else {
-            self.arr_mut(node, ArrKind::L2).remove(set, way);
+            self.arr_mut(ArrKind::L2).remove(node, set, way);
             DataLine::replica(slot.version, 0, slot.rp)
         };
         Ok((lat, ServicedBy::L2, dl))
@@ -896,7 +883,7 @@ impl D2mSystem {
         node: usize,
         line: LineAddr,
         is_i: bool,
-    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
+    ) -> Result<(u64, ServicedBy, DataLine), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let region = line.region();
         let off = usize::from(line.region_offset());
@@ -914,10 +901,10 @@ impl D2mSystem {
                 // Redirect to the existing LLC master.
                 let (slice, way) = self.llc_slice_way(tracked)?;
                 let set = self.llc_set(line, slice);
-                if let Some((k, dl)) = self.llc[slice].at(set, way) {
+                if let Some((k, dl)) = self.llc.at(slice, set, way) {
                     if k == line.raw() && dl.serveable() {
                         let version = dl.version;
-                        self.llc[slice].touch(set, way);
+                        self.llc.touch(slice, set, way);
                         let endpoint = self.llc_endpoint(slice);
                         if endpoint != Endpoint::FarSide {
                             lat += self.noc.send(MsgClass::Fwd, Endpoint::FarSide, endpoint);
@@ -985,7 +972,7 @@ impl D2mSystem {
         node: usize,
         line: LineAddr,
         m: NodeId,
-    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
+    ) -> Result<(u64, ServicedBy, DataLine), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let remote = Endpoint::Node(m);
         let mut lat = self.noc.send(MsgClass::ReadReq, me, remote);
@@ -996,8 +983,8 @@ impl D2mSystem {
         match self.node_slot_of(m.index(), line) {
             Some((kind, set, way)) => {
                 self.energy.record(EnergyEvent::L1Array, 1);
-                let arr = self.arr_mut(m.index(), kind);
-                let (_, dl) = arr.at_mut(set, way).expect("occupied");
+                let arr = self.arr_mut(kind);
+                let (_, dl) = arr.at_mut(m.index(), set, way).expect("occupied");
                 debug_assert!(dl.master, "MD3/LIs said node {m} holds the master");
                 dl.excl = false; // a replica now exists elsewhere
                 let version = dl.version;
@@ -1031,10 +1018,10 @@ impl D2mSystem {
         private: bool,
         set: usize,
         way: usize,
-    ) -> Result<u32, ProtocolError> {
+    ) -> Result<u64, ProtocolError> {
         let slot = *self
-            .arr(node, ArrKind::L1D)
-            .at(set, way)
+            .arr(ArrKind::L1D)
+            .at(node, set, way)
             .map(|(_, dl)| dl)
             .expect("checked by caller");
         let mut lat = 0;
@@ -1075,8 +1062,8 @@ impl D2mSystem {
             }
         }
         let version = self.oracle.on_store(line);
-        let arr = self.arr_mut(node, ArrKind::L1D);
-        let (_, dl) = arr.at_mut(set, way).expect("occupied");
+        let arr = self.arr_mut(ArrKind::L1D);
+        let (_, dl) = arr.at_mut(node, set, way).expect("occupied");
         dl.master = true;
         dl.excl = true;
         dl.dirty = true;
@@ -1094,7 +1081,7 @@ impl D2mSystem {
         _md: MdRef,
         private: bool,
         li: Li,
-    ) -> Result<(u32, ServicedBy, DataLine), ProtocolError> {
+    ) -> Result<(u64, ServicedBy, DataLine), ProtocolError> {
         if private {
             // Case B: direct read from the master, silent promotion.
             let (lat, serviced, fetched) = self.read_miss(node, false, line, off, li)?;
@@ -1158,7 +1145,7 @@ impl D2mSystem {
         line: LineAddr,
         off: usize,
         fetch_data: bool,
-    ) -> Result<(u32, Option<Li>, u64, ServicedBy), ProtocolError> {
+    ) -> Result<(u64, Option<Li>, u64, ServicedBy), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let region = line.region();
         let mut lat = self.noc.send(MsgClass::ReadEx, me, Endpoint::FarSide);
@@ -1184,7 +1171,7 @@ impl D2mSystem {
             Li::LlcFs { .. } | Li::LlcNs { .. } => {
                 let (slice, way) = self.llc_slice_way(old)?;
                 let set = self.llc_set(line, slice);
-                match self.llc[slice].at_mut(set, way) {
+                match self.llc.at_mut(slice, set, way) {
                     Some((k, dl)) if k == line.raw() => {
                         version = dl.version;
                         dl.master = false;
@@ -1223,8 +1210,11 @@ impl D2mSystem {
             Li::Node(m) if m.index() == node => {
                 // The writer already holds the master (an O→M upgrade).
                 if let Some((kind, s, w)) = self.node_slot_of(node, line) {
-                    let arr = self.arr(node, kind);
-                    version = arr.at(s, w).map(|(_, dl)| dl.version).expect("occupied");
+                    let arr = self.arr(kind);
+                    version = arr
+                        .at(node, s, w)
+                        .map(|(_, dl)| dl.version)
+                        .expect("occupied");
                 }
                 serviced = ServicedBy::L1;
             }
@@ -1238,8 +1228,8 @@ impl D2mSystem {
                 self.energy.record(EnergyEvent::Md2, 1);
                 lat += self.cfg.lat.md2 + self.cfg.lat.l1;
                 if let Some((kind, s, w)) = self.node_slot_of(m.index(), line) {
-                    let arr = self.arr(m.index(), kind);
-                    let dl = *arr.at(s, w).map(|(_, dl)| dl).expect("occupied");
+                    let arr = self.arr(kind);
+                    let dl = *arr.at(m.index(), s, w).map(|(_, dl)| dl).expect("occupied");
                     version = dl.version;
                     // Inherit the old master's victim slot if it has one.
                     if dl.rp.is_llc() {
@@ -1268,7 +1258,8 @@ impl D2mSystem {
         }
 
         // --- invalidate the PB nodes (region-grain multicast) ---
-        let mut prune_candidates = Vec::new();
+        let mut prune_candidates = std::mem::take(&mut self.scratch_prune);
+        prune_candidates.clear();
         let mut inv_lat = 0;
         for t in entry.pb_nodes().map(|n| n.index()) {
             if t == node || Some(t) == master_node {
@@ -1304,9 +1295,10 @@ impl D2mSystem {
 
         // MD2 pruning heuristic (paper §IV-A): nodes that received an
         // invalidation for a region they no longer use drop their MD2 entry.
-        for t in prune_candidates {
+        for t in prune_candidates.drain(..) {
             self.md2_prune_check(t, region)?;
         }
+        self.scratch_prune = prune_candidates;
         Ok((lat, victim, version, serviced))
     }
 
@@ -1316,19 +1308,20 @@ impl D2mSystem {
     fn purge_node_line(&mut self, t: usize, line: LineAddr) -> bool {
         let mut had = false;
         if let Some((kind, set, way)) = self.node_slot_of(t, line) {
-            self.arr_mut(t, kind).remove(set, way);
+            self.arr_mut(kind).remove(t, set, way);
             had = true;
         }
         if self.feats.near_side {
             let set = self.llc_set(line, t);
-            if let Some(way) = self.llc[t].way_of(set, line.raw()) {
+            if let Some(way) = self.llc.way_of(t, set, line.raw()) {
                 // Stale victim slots stay: a master's RP may target them.
-                let is_replica = self.llc[t]
-                    .at(set, way)
+                let is_replica = self
+                    .llc
+                    .at(t, set, way)
                     .map(|(_, dl)| !dl.master && !dl.stale)
                     .unwrap_or(false);
                 if is_replica {
-                    self.llc[t].remove(set, way);
+                    self.llc.remove(t, set, way);
                     had = true;
                 }
             }
@@ -1343,13 +1336,14 @@ impl D2mSystem {
             return;
         }
         let set = self.llc_set(line, node);
-        if let Some(way) = self.llc[node].way_of(set, line.raw()) {
-            let is_replica = self.llc[node]
-                .at(set, way)
+        if let Some(way) = self.llc.way_of(node, set, line.raw()) {
+            let is_replica = self
+                .llc
+                .at(node, set, way)
                 .map(|(_, dl)| !dl.master && !dl.stale)
                 .unwrap_or(false);
             if is_replica {
-                self.llc[node].remove(set, way);
+                self.llc.remove(node, set, way);
             }
         }
     }
@@ -1360,12 +1354,12 @@ impl D2mSystem {
         if !self.cfg.md2_pruning {
             return Ok(());
         }
-        let md2 = &self.nodes[t].md2;
+        let md2 = &self.md2;
         let set = md2.set_index(region.raw());
-        let Some(way) = md2.way_of(set, region.raw()) else {
+        let Some(way) = md2.way_of(t, set, region.raw()) else {
             return Ok(());
         };
-        let e = md2.at(set, way).map(|(_, e)| *e).expect("occupied");
+        let e = md2.at(t, set, way).map(|(_, e)| *e).expect("occupied");
         if e.tp.is_none() && e.node_resident_lines() == 0 {
             self.evict_md2_entry(t, set, way, true)?;
             self.ctr.md2_prunes += 1;
@@ -1389,10 +1383,10 @@ impl D2mSystem {
                 Li::LlcFs { .. } | Li::LlcNs { .. } => {
                     let (slice, way) = self.llc_slice_way(cur)?;
                     let set = self.llc_set(line, slice);
-                    match self.llc[slice].at(set, way) {
+                    match self.llc.at(slice, set, way) {
                         Some((k, dl)) if k == line.raw() => {
                             if dl.master {
-                                let (_, dl) = self.llc[slice].at_mut(set, way).expect("occupied");
+                                let (_, dl) = self.llc.at_mut(slice, set, way).expect("occupied");
                                 dl.master = false;
                                 dl.stale = true;
                                 return Ok(cur);
@@ -1402,7 +1396,7 @@ impl D2mSystem {
                                 return Ok(cur);
                             }
                             let next = dl.rp;
-                            self.llc[slice].remove(set, way);
+                            self.llc.remove(slice, set, way);
                             cur = next;
                         }
                         _ => {
@@ -1414,11 +1408,12 @@ impl D2mSystem {
                 }
                 Li::L2 { way } if self.feats.private_l2 => {
                     let set = self.l2_set(line);
-                    match self.arr(_node, ArrKind::L2).at(set, way as usize) {
+                    match self.arr(ArrKind::L2).at(_node, set, way as usize) {
                         Some((k, dl)) if k == line.raw() => {
                             if dl.master {
-                                let arr = self.arr_mut(_node, ArrKind::L2);
-                                let (_, dl) = arr.at_mut(set, way as usize).expect("occupied");
+                                let arr = self.arr_mut(ArrKind::L2);
+                                let (_, dl) =
+                                    arr.at_mut(_node, set, way as usize).expect("occupied");
                                 dl.master = false;
                                 dl.stale = true;
                                 return Ok(cur);
@@ -1427,7 +1422,7 @@ impl D2mSystem {
                                 return Ok(cur);
                             }
                             let next = dl.rp;
-                            self.arr_mut(_node, ArrKind::L2).remove(set, way as usize);
+                            self.arr_mut(ArrKind::L2).remove(_node, set, way as usize);
                             cur = next;
                         }
                         _ => {
@@ -1459,17 +1454,18 @@ impl D2mSystem {
     fn alloc_llc_master(&mut self, node: usize, line: LineAddr, version: u64) -> Li {
         let slice = self.pick_slice(node);
         let set = self.llc_set(line, slice);
-        let way = match self.llc[slice].way_of(set, line.raw()) {
+        let way = match self.llc.way_of(slice, set, line.raw()) {
             Some(existing) => existing,
             None => {
-                let way = self.llc[slice].victim_way(set);
-                if self.llc[slice].at(set, way).is_some() {
+                let way = self.llc.victim_way(slice, set);
+                if self.llc.at(slice, set, way).is_some() {
                     self.evict_llc_slot(slice, set, way);
                 }
                 way
             }
         };
-        self.llc[slice].insert_at(
+        self.llc.insert_at(
+            slice,
             set,
             way,
             line.raw(),
@@ -1491,17 +1487,18 @@ impl D2mSystem {
     fn alloc_llc_victim_slot(&mut self, node: usize, line: LineAddr) -> Li {
         let slice = self.pick_slice(node);
         let set = self.llc_set(line, slice);
-        let way = match self.llc[slice].way_of(set, line.raw()) {
+        let way = match self.llc.way_of(slice, set, line.raw()) {
             Some(existing) => existing,
             None => {
-                let way = self.llc[slice].victim_way(set);
-                if self.llc[slice].at(set, way).is_some() {
+                let way = self.llc.victim_way(slice, set);
+                if self.llc.at(slice, set, way).is_some() {
                     self.evict_llc_slot(slice, set, way);
                 }
                 way
             }
         };
-        self.llc[slice].insert_at(
+        self.llc.insert_at(
+            slice,
             set,
             way,
             line.raw(),
@@ -1525,12 +1522,12 @@ impl D2mSystem {
         line: LineAddr,
     ) -> Result<(usize, usize), ProtocolError> {
         let set = self.l2_set(line);
-        if let Some(existing) = self.arr(node, ArrKind::L2).way_of(set, line.raw()) {
+        if let Some(existing) = self.arr(ArrKind::L2).way_of(node, set, line.raw()) {
             self.evict_data_line(node, ArrKind::L2, set, existing, false)?;
             return Ok((set, existing));
         }
-        let way = self.arr(node, ArrKind::L2).victim_way(set);
-        if self.arr(node, ArrKind::L2).at(set, way).is_some() {
+        let way = self.arr(ArrKind::L2).victim_way(node, set);
+        if self.arr(ArrKind::L2).at(node, set, way).is_some() {
             self.evict_data_line(node, ArrKind::L2, set, way, false)?;
         }
         Ok((set, way))
@@ -1547,7 +1544,8 @@ impl D2mSystem {
         downstream: Li,
     ) -> Result<Li, ProtocolError> {
         let (set, way) = self.alloc_l2_slot(node, line)?;
-        self.nodes[node].l2.as_mut().expect("L2 enabled").insert_at(
+        self.l2.as_mut().expect("L2 enabled").insert_at(
+            node,
             set,
             way,
             line.raw(),
@@ -1582,15 +1580,16 @@ impl D2mSystem {
     /// slice; returns the local replica's location (the L1 copy's new RP).
     fn replicate_local(&mut self, node: usize, line: LineAddr, version: u64, master_li: Li) -> Li {
         let set = self.llc_set(line, node);
-        if let Some(way) = self.llc[node].way_of(set, line.raw()) {
+        if let Some(way) = self.llc.way_of(node, set, line.raw()) {
             // Already present locally (replica or master): reuse.
             return self.li_of_llc(node, way);
         }
-        let way = self.llc[node].victim_way(set);
-        if self.llc[node].at(set, way).is_some() {
+        let way = self.llc.victim_way(node, set);
+        if self.llc.at(node, set, way).is_some() {
             self.evict_llc_slot(node, set, way);
         }
-        self.llc[node].insert_at(
+        self.llc.insert_at(
+            node,
             set,
             way,
             line.raw(),
@@ -1614,11 +1613,11 @@ impl D2mSystem {
     ) -> Result<usize, ProtocolError> {
         let kind = if is_i { ArrKind::L1I } else { ArrKind::L1D };
         let set = self.l1_set(line);
-        let way = self.arr(node, kind).victim_way(set);
-        if self.arr(node, kind).at(set, way).is_some() {
+        let way = self.arr(kind).victim_way(node, set);
+        if self.arr(kind).at(node, set, way).is_some() {
             self.evict_data_line(node, kind, set, way, false)?;
         }
-        self.arr_mut(node, kind).insert_at(set, way, line.raw(), dl);
+        self.arr_mut(kind).insert_at(node, set, way, line.raw(), dl);
         Ok(way)
     }
 
@@ -1634,7 +1633,7 @@ impl D2mSystem {
         way: usize,
         quiet: bool,
     ) -> Result<(), ProtocolError> {
-        let (key, slot) = match self.arr_mut(node, kind).remove(set, way) {
+        let (key, slot) = match self.arr_mut(kind).remove(node, set, way) {
             Some(x) => x,
             None => return Ok(()),
         };
@@ -1652,8 +1651,8 @@ impl D2mSystem {
                 // A reclaimed victim slot: the local master whose RP names
                 // this slot falls back to the slot's own downstream victim.
                 if let Some((hk, hs, hw)) = self.node_slot_of(node, line) {
-                    let arr = self.arr_mut(node, hk);
-                    let (_, holder) = arr.at_mut(hs, hw).expect("occupied");
+                    let arr = self.arr_mut(hk);
+                    let (_, holder) = arr.at_mut(node, hs, hw).expect("occupied");
                     if holder.rp == li_here {
                         holder.rp = slot.rp;
                     }
@@ -1664,12 +1663,10 @@ impl D2mSystem {
             // (victim caching) instead of being dropped.
             if self.feats.private_l2 && kind != ArrKind::L2 && !quiet {
                 let (s2, w2) = self.alloc_l2_slot(node, line)?;
-                self.nodes[node].l2.as_mut().expect("L2 enabled").insert_at(
-                    s2,
-                    w2,
-                    line.raw(),
-                    slot,
-                );
+                self.l2
+                    .as_mut()
+                    .expect("L2 enabled")
+                    .insert_at(node, s2, w2, line.raw(), slot);
                 if let Some(md) = md {
                     if self.li_get(node, md, off) == li_here {
                         self.li_set(node, md, off, Li::L2 { way: w2 as u8 });
@@ -1696,14 +1693,14 @@ impl D2mSystem {
         if !private && self.feats.private_l2 {
             if let Li::L2 { way: vway } = rp_target {
                 let vset = self.l2_set(line);
-                rp_target = match self.arr(node, ArrKind::L2).at(vset, vway as usize) {
+                rp_target = match self.arr(ArrKind::L2).at(node, vset, vway as usize) {
                     Some((k, vdl)) if k == line.raw() && !vdl.rp.is_node_local() => {
                         let downstream = vdl.rp;
-                        self.arr_mut(node, ArrKind::L2).remove(vset, vway as usize);
+                        self.arr_mut(ArrKind::L2).remove(node, vset, vway as usize);
                         downstream
                     }
                     _ => {
-                        self.arr_mut(node, ArrKind::L2).remove(vset, vway as usize);
+                        self.arr_mut(ArrKind::L2).remove(node, vset, vway as usize);
                         Li::Mem
                     }
                 };
@@ -1714,7 +1711,7 @@ impl D2mSystem {
             Li::LlcFs { .. } | Li::LlcNs { .. } => {
                 let (slice, vway) = self.llc_slice_way(rp_target)?;
                 let vset = self.llc_set(line, slice);
-                match self.llc[slice].at_mut(vset, vway) {
+                match self.llc.at_mut(slice, vset, vway) {
                     Some((k, vdl)) if k == line.raw() => {
                         vdl.master = true;
                         vdl.excl = false;
@@ -1739,8 +1736,8 @@ impl D2mSystem {
             Li::L2 { way: vway } if self.feats.private_l2 && kind != ArrKind::L2 => {
                 // Victim location in the local L2 (no interconnect traffic).
                 let vset = self.l2_set(line);
-                let arr = self.nodes[node].l2.as_mut().expect("L2 enabled");
-                match arr.at_mut(vset, vway as usize) {
+                let arr = self.l2.as_mut().expect("L2 enabled");
+                match arr.at_mut(node, vset, vway as usize) {
                     Some((k, vdl)) if k == line.raw() => {
                         vdl.master = true;
                         vdl.excl = slot.excl;
@@ -1811,7 +1808,7 @@ impl D2mSystem {
     /// NewMaster/RpFix fan-out to whoever pointed here; stale victims fix
     /// their master's RP; replicas fix their owner's chain.
     pub(crate) fn evict_llc_slot(&mut self, slice: usize, set: usize, way: usize) {
-        let Some((key, slot)) = self.llc[slice].remove(set, way) else {
+        let Some((key, slot)) = self.llc.remove(slice, set, way) else {
             return;
         };
         self.pressure[slice] += 1;
@@ -1861,7 +1858,7 @@ impl D2mSystem {
         way: usize,
         notify: bool,
     ) -> Result<(), ProtocolError> {
-        let Some((key, entry)) = self.nodes[node].md2.at(set, way).map(|(k, e)| (k, *e)) else {
+        let Some((key, entry)) = self.md2.at(node, set, way).map(|(k, e)| (k, *e)) else {
             return Ok(());
         };
         let region = RegionAddr::new(key);
@@ -1871,13 +1868,13 @@ impl D2mSystem {
         // entry is authoritative during the forced evictions.
         if let Some(tp) = entry.tp {
             let arr = match tp.side {
-                Md1Side::Instruction => &mut self.nodes[node].md1i,
-                Md1Side::Data => &mut self.nodes[node].md1d,
+                Md1Side::Instruction => &mut self.md1i,
+                Md1Side::Data => &mut self.md1d,
             };
             let (_, e1) = arr
-                .remove(tp.set as usize, tp.way as usize)
+                .remove(node, tp.set as usize, tp.way as usize)
                 .expect("TP names a live MD1 entry");
-            let (_, e2) = self.nodes[node].md2.at_mut(set, way).expect("occupied");
+            let (_, e2) = self.md2.at_mut(node, set, way).expect("occupied");
             e2.li = e1.li;
             e2.private = e1.private;
             e2.tp = None;
@@ -1891,9 +1888,9 @@ impl D2mSystem {
         for off in 0..LINES_PER_REGION {
             let line = region.line(crate::meta_line_offset(off));
             for _ in 0..4 {
-                let li = self.nodes[node]
+                let li = self
                     .md2
-                    .at(set, way)
+                    .at(node, set, way)
                     .map(|(_, e)| e.li[off])
                     .expect("occupied");
                 match li {
@@ -1910,18 +1907,20 @@ impl D2mSystem {
                         if n.index() == node && self.feats.near_side =>
                     {
                         let lset = self.llc_set(line, node);
-                        let is_replica = self.llc[node]
-                            .at(lset, lway as usize)
+                        let is_replica = self
+                            .llc
+                            .at(node, lset, lway as usize)
                             .is_some_and(|(k, dl)| k == line.raw() && !dl.master && !dl.stale);
                         if !is_replica {
                             break; // a master/victim slot in our slice may stay
                         }
-                        let rp = self.llc[node]
-                            .at(lset, lway as usize)
+                        let rp = self
+                            .llc
+                            .at(node, lset, lway as usize)
                             .map(|(_, dl)| dl.rp)
                             .expect("occupied");
-                        self.llc[node].remove(lset, lway as usize);
-                        let (_, e2) = self.nodes[node].md2.at_mut(set, way).expect("occupied");
+                        self.llc.remove(node, lset, lway as usize);
+                        let (_, e2) = self.md2.at_mut(node, set, way).expect("occupied");
                         e2.li[off] = rp;
                     }
                     _ => break,
@@ -1929,12 +1928,12 @@ impl D2mSystem {
             }
         }
 
-        let final_li = self.nodes[node]
+        let final_li = self
             .md2
-            .at(set, way)
+            .at(node, set, way)
             .map(|(_, e)| e.li)
             .expect("occupied");
-        self.nodes[node].md2.remove(set, way);
+        self.md2.remove(node, set, way);
 
         if notify {
             self.noc.send(
@@ -1982,9 +1981,9 @@ impl D2mSystem {
                 Endpoint::Node(NodeId::new(t as u8)),
             );
             self.ctr.invalidations_received += 1;
-            let md2 = &self.nodes[t].md2;
+            let md2 = &self.md2;
             let s2 = md2.set_index(region.raw());
-            if let Some(w2) = md2.way_of(s2, region.raw()) {
+            if let Some(w2) = md2.way_of(t, s2, region.raw()) {
                 self.evict_md2_entry(t, s2, w2, false)?;
             }
             self.noc.send(
@@ -1995,16 +1994,16 @@ impl D2mSystem {
         }
 
         // Sweep the region's lines out of every LLC slice.
-        for slice in 0..self.llc.len() {
+        for slice in 0..self.llc.banks() {
             for line in region.lines() {
                 let set = self.llc_set(line, slice);
-                if let Some(way) = self.llc[slice].way_of(set, line.raw()) {
-                    let (_, dl) = self.llc[slice].at(set, way).expect("occupied");
+                if let Some(way) = self.llc.way_of(slice, set, line.raw()) {
+                    let (_, dl) = self.llc.at(slice, set, way).expect("occupied");
                     if dl.master && dl.dirty {
                         self.noc.offchip(MsgClass::MemWrite);
                         self.oracle.write_memory(line, dl.version);
                     }
-                    self.llc[slice].remove(set, way);
+                    self.llc.remove(slice, set, way);
                 }
             }
         }
@@ -2015,12 +2014,12 @@ impl D2mSystem {
     /// Bumps the bypass predictor's fill counter for `region` at `node`;
     /// returns the current streaming prediction.
     fn note_region_fill(&mut self, node: usize, region: RegionAddr) -> bool {
-        let md2 = &mut self.nodes[node].md2;
+        let md2 = &mut self.md2;
         let set = md2.set_index(region.raw());
-        let Some(way) = md2.way_of(set, region.raw()) else {
+        let Some(way) = md2.way_of(node, set, region.raw()) else {
             return false;
         };
-        let (_, e) = md2.at_mut(set, way).expect("occupied");
+        let (_, e) = md2.at_mut(node, set, way).expect("occupied");
         let streaming = e.predicts_streaming();
         e.fills = e.fills.saturating_add(1);
         streaming
@@ -2031,10 +2030,10 @@ impl D2mSystem {
         if !self.feats.bypass {
             return;
         }
-        let md2 = &mut self.nodes[node].md2;
+        let md2 = &mut self.md2;
         let set = md2.set_index(region.raw());
-        if let Some(way) = md2.way_of(set, region.raw()) {
-            let (_, e) = md2.at_mut(set, way).expect("occupied");
+        if let Some(way) = md2.way_of(node, set, region.raw()) {
+            let (_, e) = md2.at_mut(node, set, way).expect("occupied");
             e.reuse = e.reuse.saturating_add(1);
         }
     }

@@ -3,9 +3,20 @@
 //! The protocol flows (reads, writes, evictions, MD3 transactions) live in
 //! [`crate::protocol`]; the whole-system invariant checker in
 //! [`crate::invariants`].
+//!
+//! # Storage layout
+//!
+//! Every per-node structure (the MD1s, the L1 arrays, the MD2s, the LLC
+//! slices) is stored as ONE contiguous [`Banked`] arena with one bank per
+//! node/slice, addressed by `(bank, set, way)` arithmetic — there is no
+//! per-node struct and no `Vec<Vec<...>>` nesting on the transaction hot
+//! path. Each bank keeps its own LRU clock, so the arena makes exactly the
+//! same replacement decisions as independent per-node arrays (simulation
+//! output is byte-identical to the previous layout). MD3 is a single global
+//! structure and stays a flat [`SetAssoc`] (itself one contiguous arena).
 
 use d2m_cache::scramble::{region_scramble, scrambled_index};
-use d2m_cache::{SetAssoc, Tlb};
+use d2m_cache::{Banked, SetAssoc, Tlb};
 use d2m_common::addr::{LineAddr, NodeId, RegionAddr};
 use d2m_common::config::MachineConfig;
 use d2m_common::oracle::VersionOracle;
@@ -116,16 +127,6 @@ pub(crate) enum MdRef {
     Md2 { set: usize, way: usize },
 }
 
-pub(crate) struct NodeState {
-    pub md1i: SetAssoc<Md1Entry>,
-    pub md1d: SetAssoc<Md1Entry>,
-    pub md2: SetAssoc<Md2Entry>,
-    pub tlb2: Tlb,
-    pub l1i: SetAssoc<DataLine>,
-    pub l1d: SetAssoc<DataLine>,
-    pub l2: Option<SetAssoc<DataLine>>,
-}
-
 /// The Direct-to-Master split cache hierarchy.
 ///
 /// See the crate docs for the architecture; see `DESIGN.md` for how this
@@ -135,10 +136,22 @@ pub struct D2mSystem {
     pub(crate) feats: D2mFeatures,
     variant: D2mVariant,
     pub(crate) enc: LiEncoding,
-    pub(crate) nodes: Vec<NodeState>,
-    /// LLC data arrays: one array (index 0) for far-side, one per node for
-    /// near-side.
-    pub(crate) llc: Vec<SetAssoc<DataLine>>,
+    /// Instruction-side MD1s: one bank per node.
+    pub(crate) md1i: Banked<Md1Entry>,
+    /// Data-side MD1s: one bank per node.
+    pub(crate) md1d: Banked<Md1Entry>,
+    /// MD2s: one bank per node.
+    pub(crate) md2: Banked<Md2Entry>,
+    pub(crate) tlb2: Vec<Tlb>,
+    /// L1 instruction data arrays: one bank per node.
+    pub(crate) l1i: Banked<DataLine>,
+    /// L1 data arrays: one bank per node.
+    pub(crate) l1d: Banked<DataLine>,
+    /// Optional unified private L2s: one bank per node.
+    pub(crate) l2: Option<Banked<DataLine>>,
+    /// LLC data arrays: a single bank (index 0) for far-side, one bank per
+    /// node for near-side.
+    pub(crate) llc: Banked<DataLine>,
     pub(crate) md3: SetAssoc<Md3Entry>,
     pub(crate) lockbits: LockBits,
     pub(crate) noc: Noc,
@@ -152,6 +165,9 @@ pub struct D2mSystem {
     /// Snapshot the placement policy actually consults.
     pub(crate) pressure_last: Vec<u64>,
     pub(crate) window_accesses: u64,
+    /// Reusable scratch for the case-C prune-candidate list, so the write
+    /// hot path performs no per-access heap allocation.
+    pub(crate) scratch_prune: Vec<usize>,
     scramble_salt: u64,
 }
 
@@ -182,29 +198,15 @@ impl D2mSystem {
             !(feats.private_l2 && feats.near_side),
             "the private L2 replaces the NS slice (Figure 4); enable only one"
         );
-        let nodes = (0..cfg.nodes)
-            .map(|_| NodeState {
-                md1i: SetAssoc::with_hashed_index(cfg.md1.sets, cfg.md1.ways),
-                md1d: SetAssoc::with_hashed_index(cfg.md1.sets, cfg.md1.ways),
-                md2: SetAssoc::with_hashed_index(cfg.md2.sets, cfg.md2.ways),
-                tlb2: Tlb::new(cfg.tlb.sets, cfg.tlb.ways),
-                l1i: SetAssoc::new(cfg.l1i.sets, cfg.l1i.ways),
-                l1d: SetAssoc::new(cfg.l1d.sets, cfg.l1d.ways),
-                l2: feats
-                    .private_l2
-                    .then(|| SetAssoc::new(cfg.l2.sets, cfg.l2.ways)),
-            })
-            .collect();
+        let n = cfg.nodes;
         let (llc, enc) = if feats.near_side {
             (
-                (0..cfg.nodes)
-                    .map(|_| SetAssoc::new(cfg.ns_slice.sets, cfg.ns_slice.ways))
-                    .collect(),
+                Banked::new(n, cfg.ns_slice.sets, cfg.ns_slice.ways),
                 LiEncoding::NearSide,
             )
         } else {
             (
-                vec![SetAssoc::new(cfg.llc.sets, cfg.llc.ways)],
+                Banked::new(1, cfg.llc.sets, cfg.llc.ways),
                 LiEncoding::FarSide,
             )
         };
@@ -213,7 +215,17 @@ impl D2mSystem {
             feats,
             variant,
             enc,
-            nodes,
+            md1i: Banked::with_hashed_index(n, cfg.md1.sets, cfg.md1.ways),
+            md1d: Banked::with_hashed_index(n, cfg.md1.sets, cfg.md1.ways),
+            md2: Banked::with_hashed_index(n, cfg.md2.sets, cfg.md2.ways),
+            tlb2: (0..n)
+                .map(|_| Tlb::new(cfg.tlb.sets, cfg.tlb.ways))
+                .collect(),
+            l1i: Banked::new(n, cfg.l1i.sets, cfg.l1i.ways),
+            l1d: Banked::new(n, cfg.l1d.sets, cfg.l1d.ways),
+            l2: feats
+                .private_l2
+                .then(|| Banked::new(n, cfg.l2.sets, cfg.l2.ways)),
             llc,
             md3: SetAssoc::with_hashed_index(cfg.md3.sets, cfg.md3.ways),
             lockbits: LockBits::new(cfg.md3_lock_bits, 8),
@@ -223,9 +235,10 @@ impl D2mSystem {
             rng: SimRng::from_label(seed, "d2m/policy"),
             ctr: D2mCounters::default(),
             ev: ProtocolEvents::default(),
-            pressure: vec![0; cfg.nodes],
-            pressure_last: vec![0; cfg.nodes],
+            pressure: vec![0; n],
+            pressure_last: vec![0; n],
             window_accesses: 0,
+            scratch_prune: Vec::with_capacity(n),
             scramble_salt: seed ^ 0x5c7a_3bbd,
         }
     }
@@ -351,8 +364,12 @@ impl D2mSystem {
     /// LLC set index for a line within `slice`.
     #[inline]
     pub(crate) fn llc_set(&self, line: LineAddr, slice: usize) -> usize {
-        let sets = self.llc[slice].sets();
-        scrambled_index(line.raw() as usize, self.scramble(line.region()), sets)
+        let _ = slice; // all slices share one geometry in the banked arena
+        scrambled_index(
+            line.raw() as usize,
+            self.scramble(line.region()),
+            self.llc.sets(),
+        )
     }
 
     /// Maps an LLC-pointing LI to `(slice, way)`.
@@ -371,8 +388,8 @@ impl D2mSystem {
             Li::LlcNs { node, way } => (node.index(), way as usize),
             _ => return Err(ProtocolError::NotAnLlcLocation { li }),
         };
-        let slices = self.llc.len();
-        let ways = self.llc.first().map_or(0, SetAssoc::ways);
+        let slices = self.llc.banks();
+        let ways = self.llc.ways();
         if slice >= slices || way >= ways {
             return Err(ProtocolError::LlcSlotOutOfRange { li, slices, ways });
         }
@@ -410,10 +427,13 @@ impl D2mSystem {
     /// The active metadata reference for `region` at `node`, if the node
     /// tracks it. Pure resolution — no energy/latency accounting.
     pub(crate) fn find_active_md(&self, node: usize, region: RegionAddr) -> Option<MdRef> {
-        let md2 = &self.nodes[node].md2;
-        let set = md2.set_index(region.raw());
-        let way = md2.way_of(set, region.raw())?;
-        let entry = md2.at(set, way).map(|(_, e)| *e).expect("occupied");
+        let set = self.md2.set_index(region.raw());
+        let way = self.md2.way_of(node, set, region.raw())?;
+        let entry = self
+            .md2
+            .at(node, set, way)
+            .map(|(_, e)| *e)
+            .expect("occupied");
         Some(match entry.tp {
             Some(tp) => MdRef::Md1 {
                 is_i: tp.side == crate::meta::Md1Side::Instruction,
@@ -428,18 +448,14 @@ impl D2mSystem {
     pub(crate) fn li_get(&self, node: usize, md: MdRef, off: usize) -> Li {
         match md {
             MdRef::Md1 { is_i, set, way } => {
-                let arr = if is_i {
-                    &self.nodes[node].md1i
-                } else {
-                    &self.nodes[node].md1d
-                };
-                arr.at(set, way)
+                let arr = if is_i { &self.md1i } else { &self.md1d };
+                arr.at(node, set, way)
                     .map(|(_, e)| e.li[off])
                     .expect("active MD1 entry")
             }
-            MdRef::Md2 { set, way } => self.nodes[node]
+            MdRef::Md2 { set, way } => self
                 .md2
-                .at(set, way)
+                .at(node, set, way)
                 .map(|(_, e)| e.li[off])
                 .expect("active MD2 entry"),
         }
@@ -449,19 +465,12 @@ impl D2mSystem {
     pub(crate) fn li_set(&mut self, node: usize, md: MdRef, off: usize, li: Li) {
         match md {
             MdRef::Md1 { is_i, set, way } => {
-                let arr = if is_i {
-                    &mut self.nodes[node].md1i
-                } else {
-                    &mut self.nodes[node].md1d
-                };
-                let (_, e) = arr.at_mut(set, way).expect("active MD1 entry");
+                let arr = if is_i { &mut self.md1i } else { &mut self.md1d };
+                let (_, e) = arr.at_mut(node, set, way).expect("active MD1 entry");
                 e.li[off] = li;
             }
             MdRef::Md2 { set, way } => {
-                let (_, e) = self.nodes[node]
-                    .md2
-                    .at_mut(set, way)
-                    .expect("active MD2 entry");
+                let (_, e) = self.md2.at_mut(node, set, way).expect("active MD2 entry");
                 e.li[off] = li;
             }
         }
@@ -471,18 +480,14 @@ impl D2mSystem {
     pub(crate) fn md_private(&self, node: usize, md: MdRef) -> bool {
         match md {
             MdRef::Md1 { is_i, set, way } => {
-                let arr = if is_i {
-                    &self.nodes[node].md1i
-                } else {
-                    &self.nodes[node].md1d
-                };
-                arr.at(set, way)
+                let arr = if is_i { &self.md1i } else { &self.md1d };
+                arr.at(node, set, way)
                     .map(|(_, e)| e.private)
                     .expect("active MD1 entry")
             }
-            MdRef::Md2 { set, way } => self.nodes[node]
+            MdRef::Md2 { set, way } => self
                 .md2
-                .at(set, way)
+                .at(node, set, way)
                 .map(|(_, e)| e.private)
                 .expect("active MD2 entry"),
         }
@@ -491,40 +496,39 @@ impl D2mSystem {
     /// Clears the private bit in both the MD2 entry and (if active) the MD1
     /// entry for `region` at `node`.
     pub(crate) fn clear_private(&mut self, node: usize, region: RegionAddr) {
-        let md2 = &mut self.nodes[node].md2;
-        let set = md2.set_index(region.raw());
-        let Some(way) = md2.way_of(set, region.raw()) else {
+        let set = self.md2.set_index(region.raw());
+        let Some(way) = self.md2.way_of(node, set, region.raw()) else {
             return;
         };
-        let (_, e) = md2.at_mut(set, way).expect("occupied");
+        let (_, e) = self.md2.at_mut(node, set, way).expect("occupied");
         e.private = false;
         let tp = e.tp;
         if let Some(tp) = tp {
             let arr = match tp.side {
-                crate::meta::Md1Side::Instruction => &mut self.nodes[node].md1i,
-                crate::meta::Md1Side::Data => &mut self.nodes[node].md1d,
+                crate::meta::Md1Side::Instruction => &mut self.md1i,
+                crate::meta::Md1Side::Data => &mut self.md1d,
             };
-            if let Some((_, e1)) = arr.at_mut(tp.set as usize, tp.way as usize) {
+            if let Some((_, e1)) = arr.at_mut(node, tp.set as usize, tp.way as usize) {
                 e1.private = false;
             }
         }
     }
 
-    /// The data array for `kind` at `node`.
-    pub(crate) fn arr(&self, node: usize, kind: ArrKind) -> &SetAssoc<DataLine> {
+    /// The data arena for `kind`; index it with the node as the bank.
+    pub(crate) fn arr(&self, kind: ArrKind) -> &Banked<DataLine> {
         match kind {
-            ArrKind::L1I => &self.nodes[node].l1i,
-            ArrKind::L1D => &self.nodes[node].l1d,
-            ArrKind::L2 => self.nodes[node].l2.as_ref().expect("L2 feature enabled"),
+            ArrKind::L1I => &self.l1i,
+            ArrKind::L1D => &self.l1d,
+            ArrKind::L2 => self.l2.as_ref().expect("L2 feature enabled"),
         }
     }
 
-    /// Mutable data array for `kind` at `node`.
-    pub(crate) fn arr_mut(&mut self, node: usize, kind: ArrKind) -> &mut SetAssoc<DataLine> {
+    /// Mutable data arena for `kind`; index it with the node as the bank.
+    pub(crate) fn arr_mut(&mut self, kind: ArrKind) -> &mut Banked<DataLine> {
         match kind {
-            ArrKind::L1I => &mut self.nodes[node].l1i,
-            ArrKind::L1D => &mut self.nodes[node].l1d,
-            ArrKind::L2 => self.nodes[node].l2.as_mut().expect("L2 feature enabled"),
+            ArrKind::L1I => &mut self.l1i,
+            ArrKind::L1D => &mut self.l1d,
+            ArrKind::L2 => self.l2.as_mut().expect("L2 feature enabled"),
         }
     }
 
@@ -537,14 +541,13 @@ impl D2mSystem {
     ) -> Option<(ArrKind, usize, usize)> {
         let set = self.l1_set(line);
         for kind in [ArrKind::L1D, ArrKind::L1I] {
-            let arr = self.arr(node, kind);
-            if let Some(way) = arr.way_of(set, line.raw()) {
+            if let Some(way) = self.arr(kind).way_of(node, set, line.raw()) {
                 return Some((kind, set, way));
             }
         }
         if self.feats.private_l2 {
             let set2 = self.l2_set(line);
-            if let Some(way) = self.arr(node, ArrKind::L2).way_of(set2, line.raw()) {
+            if let Some(way) = self.arr(ArrKind::L2).way_of(node, set2, line.raw()) {
                 return Some((ArrKind::L2, set2, way));
             }
         }
@@ -571,8 +574,7 @@ impl D2mSystem {
                 }
             }
             if let Some((kind, set, way)) = self.node_slot_of(n, line) {
-                let arr = self.arr_mut(n, kind);
-                let (_, dl) = arr.at_mut(set, way).expect("occupied");
+                let (_, dl) = self.arr_mut(kind).at_mut(n, set, way).expect("occupied");
                 if dl.rp == from {
                     dl.rp = to;
                     fixed = true;
@@ -581,8 +583,8 @@ impl D2mSystem {
             // Replicas of `line` in n's local slice whose RP names `from`.
             if self.feats.near_side {
                 let set = self.llc_set(line, n);
-                if let Some(way) = self.llc[n].way_of(set, line.raw()) {
-                    let (_, dl) = self.llc[n].at_mut(set, way).expect("occupied");
+                if let Some(way) = self.llc.way_of(n, set, line.raw()) {
+                    let (_, dl) = self.llc.at_mut(n, set, way).expect("occupied");
                     if dl.rp == from {
                         dl.rp = to;
                         fixed = true;
@@ -660,10 +662,10 @@ mod tests {
     fn construction_matches_variant() {
         let cfg = MachineConfig::default();
         let fs = D2mSystem::new(&cfg, D2mVariant::FarSide);
-        assert_eq!(fs.llc.len(), 1);
+        assert_eq!(fs.llc.banks(), 1);
         assert_eq!(fs.enc, LiEncoding::FarSide);
         let ns = D2mSystem::new(&cfg, D2mVariant::NearSide);
-        assert_eq!(ns.llc.len(), 8);
+        assert_eq!(ns.llc.banks(), 8);
         assert!(!ns.features().replication);
         let nsr = D2mSystem::new(&cfg, D2mVariant::NearSideRepl);
         assert!(nsr.features().replication && nsr.features().dynamic_indexing);

@@ -70,6 +70,28 @@ fn cold_read_fills_from_memory_and_hits_after() {
 }
 
 #[test]
+fn late_hit_latency_survives_waits_beyond_u32() {
+    for v in all_variants() {
+        let mut sys = D2mSystem::new(&cfg(), v);
+        // Fill at a node-local time far past u32::MAX cycles, then re-access
+        // at cycle 0: the in-flight window (`ready_at - now`) exceeds
+        // u32::MAX, which the former `as u32` cast silently wrapped.
+        let far = u32::MAX as u64 * 4;
+        sys.access(&acc(0, AccessKind::Load, 0x900_0000), far)
+            .unwrap();
+        let r = sys
+            .access(&acc(0, AccessKind::Load, 0x900_0000), 0)
+            .unwrap();
+        assert!(r.l1_hit && r.late, "{v:?}");
+        assert!(
+            r.latency > u64::from(u32::MAX),
+            "{v:?}: late-hit latency truncated to {}",
+            r.latency
+        );
+    }
+}
+
+#[test]
 fn case_d4_then_d1_then_d2_transitions() {
     let mut sys = D2mSystem::new(&cfg(), D2mVariant::FarSide);
     // Node 0 touches a region: D4 (uncached → private).
@@ -979,11 +1001,11 @@ fn corrupted_li_yields_protocol_error_not_abort() {
 
     // Plant a near-side pointer on this far-side system (slice 5 of 1) in
     // the now-active MD1 entry, at an offset the L1 does not yet hold.
-    let md1 = &mut sys.nodes[0].md1d;
-    let slots: Vec<(usize, usize)> = md1.iter().map(|(s, w, _, _)| (s, w)).collect();
+    let md1 = &mut sys.md1d;
+    let slots: Vec<(usize, usize)> = md1.iter_bank(0).map(|(s, w, _, _)| (s, w)).collect();
     assert!(!slots.is_empty(), "first access must activate an MD1 entry");
     for (s, w) in slots {
-        let (_, e) = md1.at_mut(s, w).expect("occupied");
+        let (_, e) = md1.at_mut(0, s, w).expect("occupied");
         e.li[1] = Li::LlcNs {
             node: NodeId::new(5),
             way: 0,

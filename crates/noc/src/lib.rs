@@ -280,7 +280,7 @@ impl ToJson for TrafficMatrix {
 /// Interconnect accumulator: counts messages and bytes, returns hop latency.
 #[derive(Clone, Debug)]
 pub struct Noc {
-    hop_latency: u32,
+    hop_latency: u64,
     counts: [u64; MSG_CLASSES],
     header_bytes: u64,
     data_bytes: u64,
@@ -289,7 +289,7 @@ pub struct Noc {
 
 impl Noc {
     /// Creates an accumulator with the given single-traversal latency.
-    pub fn new(hop_latency: u32) -> Self {
+    pub fn new(hop_latency: u64) -> Self {
         Self {
             hop_latency,
             counts: [0; MSG_CLASSES],
@@ -316,7 +316,7 @@ impl Noc {
     /// Messages between a node and itself (e.g. an access to the local NS
     /// slice) cost nothing and are not counted — that is precisely the
     /// near-side advantage.
-    pub fn send(&mut self, class: MsgClass, from: Endpoint, to: Endpoint) -> u32 {
+    pub fn send(&mut self, class: MsgClass, from: Endpoint, to: Endpoint) -> u64 {
         if from == to {
             return 0;
         }
@@ -349,7 +349,7 @@ impl Noc {
 
     /// Records a multicast from `from` to every endpoint in `to`, returning
     /// the latency of the slowest leg (legs are parallel).
-    pub fn multicast<I>(&mut self, class: MsgClass, from: Endpoint, to: I) -> u32
+    pub fn multicast<I>(&mut self, class: MsgClass, from: Endpoint, to: I) -> u64
     where
         I: IntoIterator<Item = Endpoint>,
     {
@@ -403,7 +403,7 @@ impl Noc {
     }
 
     /// Hop latency parameter.
-    pub fn hop_latency(&self) -> u32 {
+    pub fn hop_latency(&self) -> u64 {
         self.hop_latency
     }
 

@@ -142,8 +142,8 @@ struct ServeTally {
 }
 
 impl ServeTally {
-    fn record(&mut self, is_i: bool, serviced: ServicedBy, latency: u32) {
-        self.miss_hist.record(latency as u64);
+    fn record(&mut self, is_i: bool, serviced: ServicedBy, latency: u64) {
+        self.miss_hist.record(latency);
         self.misses += 1;
         if is_i {
             self.miss_i += 1;

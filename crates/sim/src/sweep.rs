@@ -427,10 +427,13 @@ impl ObservedSweep {
                 ];
                 match o {
                     Some(o) => fields.push(("probe".to_string(), o.probe.report())),
-                    None => fields.push((
-                        "error".to_string(),
-                        Json::Str(c.error.clone().unwrap_or_default()),
-                    )),
+                    // Omit-when-absent: a cell with no observation and no
+                    // recorded error gets neither field.
+                    None => {
+                        if let Some(e) = &c.error {
+                            fields.push(("error".to_string(), Json::Str(e.clone())));
+                        }
+                    }
                 }
                 Json::Obj(fields)
             })
@@ -671,6 +674,29 @@ mod tests {
             "histogram aggregation must not depend on the worker count"
         );
         assert!(a.aggregate.events > 0);
+    }
+
+    #[test]
+    fn histograms_json_omits_error_for_skipped_cells() {
+        let mut spec = tiny_spec();
+        spec.configs.truncate(1);
+        spec.workloads.truncate(1);
+        spec.instructions = 10_000;
+        spec.warmup_instructions = 2_000;
+        let mut obs = run_sweep_observed_with_jobs(&spec, 1);
+        // A skipped cell: no observation, but also no recorded error. The
+        // omit-when-absent convention forbids an empty `"error": ""` here.
+        obs.observations[0] = None;
+        obs.result.cells[0].error = None;
+        let text = obs.histograms_json().to_string_pretty();
+        assert!(
+            !text.contains("\"error\""),
+            "skipped cell must omit the error field entirely:\n{text}"
+        );
+        // A genuinely failed cell still reports its error string.
+        obs.result.cells[0].error = Some("synthetic failure".into());
+        let text = obs.histograms_json().to_string_pretty();
+        assert!(text.contains("\"error\": \"synthetic failure\""), "{text}");
     }
 
     #[test]

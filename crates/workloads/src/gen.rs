@@ -133,8 +133,8 @@ impl TraceGen {
     /// accesses. Appends to `out` and returns the number of instructions the
     /// batch represents.
     pub fn next_batch(&mut self, out: &mut Vec<Access>) -> u64 {
-        let spec = self.spec.clone();
         let epoch = self.epoch();
+        let spec = &self.spec;
         let node_count = self.nodes.len();
         let mut insts_total = 0u64;
         for (n, st) in self.nodes.iter_mut().enumerate() {
@@ -178,9 +178,9 @@ impl TraceGen {
             }
             for _ in 0..n_mem {
                 let access = if spec.shared_frac > 0.0 && st.rng.chance(spec.shared_frac) {
-                    Self::shared_access(&spec, st, node, asid, epoch, node_count)
+                    Self::shared_access(spec, st, node, asid, epoch, node_count)
                 } else {
-                    Self::private_access(&spec, st, node, asid, n)
+                    Self::private_access(spec, st, node, asid, n)
                 };
                 out.push(access);
             }
