@@ -20,11 +20,22 @@ cargo fmt --check
 echo "== throughput harness (smoke) =="
 # The binary panics (non-zero exit) on any protocol error or schema
 # violation; it also self-validates the emitted JSON by re-parsing it.
+# The committed smoke snapshot is stashed first so the fresh run can be
+# diffed against it: any counter-checksum or access-count drift fails the
+# build, while throughput/allocation deltas are machine noise and only warn.
+committed_smoke="$(mktemp)"
+trap 'rm -f "$committed_smoke"' EXIT
+cp BENCH_throughput.smoke.json "$committed_smoke"
 cargo run --release -q -p d2m-bench --bin throughput -- --smoke
-test -s BENCH_throughput.json
-for key in name mode systems total accesses_per_sec counter_checksum; do
-    grep -q "\"$key\"" BENCH_throughput.json \
-        || { echo "BENCH_throughput.json missing key: $key"; exit 1; }
+test -s BENCH_throughput.smoke.json
+for key in name mode systems total accesses_per_sec counter_checksum metadata_footprint; do
+    grep -q "\"$key\"" BENCH_throughput.smoke.json \
+        || { echo "BENCH_throughput.smoke.json missing key: $key"; exit 1; }
 done
+
+echo "== throughput compare (committed smoke vs fresh smoke) =="
+cargo run --release -q -p d2m-bench --bin throughput -- \
+    compare "$committed_smoke" BENCH_throughput.smoke.json \
+    || { echo "simulation behavior drifted from the committed smoke snapshot"; exit 1; }
 
 echo "== ci.sh: all checks passed =="

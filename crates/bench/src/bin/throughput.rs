@@ -1,15 +1,27 @@
 //! Simulator throughput baseline: replays a fixed mixed workload on every
 //! system and records `BENCH_throughput.json`, so each PR leaves a perf
-//! trajectory behind (accesses/sec, heap allocations on the hot path, and a
-//! per-system counter checksum proving the replay itself is deterministic).
+//! trajectory behind (accesses/sec, heap allocations, the simulator-resident
+//! metadata footprint, and a per-system counter checksum proving the replay
+//! itself is deterministic).
 //!
-//! The binary installs a counting global allocator; the measured window's
-//! allocation count is the hot-path allocation budget — after the arena
-//! refactor it must stay flat with the access count, not grow with it.
+//! The binary installs a counting global allocator. Two allocation views are
+//! recorded per system: `allocs`/`alloc_bytes` cover the system's whole
+//! lifetime (build + warmup + measure) — this is where the packed-metadata
+//! layout shows up as fewer resident bytes — while `steady_allocs`/
+//! `steady_alloc_bytes` cover only the measured window, the hot-path
+//! allocation budget that must stay flat with the access count.
 //!
-//! `--smoke` shrinks the replay for CI; the schema is identical.
+//! `--smoke` shrinks the replay for CI and writes
+//! `BENCH_throughput.smoke.json` instead, so the committed smoke snapshot
+//! and the full snapshot never overwrite each other.
+//!
+//! `throughput compare <before.json> <after.json>` diffs two snapshots:
+//! throughput and allocation deltas are informational (they move with the
+//! machine), but any per-system `counter_checksum` or `accesses` mismatch —
+//! simulation behavior changing — fails with a nonzero exit.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -50,7 +62,8 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 const MIX: [&str; 5] = ["swaptions", "ocean_cp", "google", "mix2", "tpc-c"];
 
 const SEED: u64 = 42;
-const OUT: &str = "BENCH_throughput.json";
+const OUT_FULL: &str = "BENCH_throughput.json";
+const OUT_SMOKE: &str = "BENCH_throughput.smoke.json";
 
 /// FNV-1a over the deterministic counter JSON: a compact fingerprint that
 /// changes iff any simulation counter changes.
@@ -69,14 +82,21 @@ struct SystemRun {
     accesses: u64,
     allocs: u64,
     alloc_bytes: u64,
+    steady_allocs: u64,
+    steady_alloc_bytes: u64,
+    md_bytes: [u64; 3],
     counter_checksum: String,
     wall_secs: f64,
 }
 
 /// Replays the whole mix on one system; the measured window starts after a
-/// short warmup so steady-state hot-path allocation is what gets counted.
+/// short warmup so steady-state hot-path allocation is what gets counted,
+/// while the lifetime counters also include build + warmup (resident
+/// structures, dominated by the metadata arrays).
 fn run_system(kind: SystemKind, warmup_batches: u64, batches: u64) -> SystemRun {
     let cfg = d2m_bench::machine();
+    let life_allocs0 = ALLOCS.load(Ordering::Relaxed);
+    let life_bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
     let mut sys = AnySystem::build(kind, &cfg, SEED);
     let mut batch = Vec::new();
     let mut accesses = 0u64;
@@ -110,22 +130,28 @@ fn run_system(kind: SystemKind, warmup_batches: u64, batches: u64) -> SystemRun 
     let t0 = Instant::now();
     replay(&mut sys, &mut gens, batches, &mut accesses);
     let wall_secs = t0.elapsed().as_secs_f64();
-    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
-    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+    let steady_allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
+    let steady_alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - life_allocs0;
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - life_bytes0;
+    let fp = sys.metadata_footprint();
 
     SystemRun {
         system: kind.name(),
         accesses,
         allocs,
         alloc_bytes,
+        steady_allocs,
+        steady_alloc_bytes,
+        md_bytes: [fp.md1_bytes, fp.md2_bytes, fp.md3_bytes],
         counter_checksum: checksum(&sys.counters().to_json()),
         wall_secs,
     }
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+fn run_bench(smoke: bool) {
     let (warmup_batches, batches) = if smoke { (50, 200) } else { (2_000, 30_000) };
+    let out = if smoke { OUT_SMOKE } else { OUT_FULL };
     println!(
         "== throughput — {} batches/workload ({} warmup) × {} workloads × {} systems{} ==",
         batches,
@@ -158,11 +184,26 @@ fn main() {
     let systems = runs
         .iter()
         .map(|r| {
+            let [md1, md2, md3] = r.md_bytes;
             Json::Obj(vec![
                 ("system".to_string(), Json::Str(r.system.to_string())),
                 ("accesses".to_string(), Json::U64(r.accesses)),
                 ("allocs".to_string(), Json::U64(r.allocs)),
                 ("alloc_bytes".to_string(), Json::U64(r.alloc_bytes)),
+                ("steady_allocs".to_string(), Json::U64(r.steady_allocs)),
+                (
+                    "steady_alloc_bytes".to_string(),
+                    Json::U64(r.steady_alloc_bytes),
+                ),
+                (
+                    "metadata_footprint".to_string(),
+                    Json::Obj(vec![
+                        ("md1_bytes".to_string(), Json::U64(md1)),
+                        ("md2_bytes".to_string(), Json::U64(md2)),
+                        ("md3_bytes".to_string(), Json::U64(md3)),
+                        ("total_bytes".to_string(), Json::U64(md1 + md2 + md3)),
+                    ]),
+                ),
                 (
                     "counter_checksum".to_string(),
                     Json::Str(r.counter_checksum.clone()),
@@ -204,7 +245,7 @@ fn main() {
     ]);
 
     let text = doc.to_string_pretty();
-    std::fs::write(OUT, &text).expect("write BENCH_throughput.json");
+    std::fs::write(out, &text).unwrap_or_else(|e| panic!("write {out}: {e}"));
 
     // Self-validate: the emitted file must parse and carry the schema keys
     // CI (and cross-PR comparisons) rely on.
@@ -219,7 +260,7 @@ fn main() {
         "systems",
         "total",
     ] {
-        assert!(back.get(key).is_some(), "missing key {key:?} in {OUT}");
+        assert!(back.get(key).is_some(), "missing key {key:?} in {out}");
     }
     let systems = back.get("systems").and_then(Json::as_array).expect("array");
     assert_eq!(systems.len(), SystemKind::ALL.len());
@@ -229,6 +270,9 @@ fn main() {
             "accesses",
             "allocs",
             "alloc_bytes",
+            "steady_allocs",
+            "steady_alloc_bytes",
+            "metadata_footprint",
             "counter_checksum",
             "wall_secs",
             "accesses_per_sec",
@@ -238,10 +282,133 @@ fn main() {
     }
 
     println!(
-        "\ntotal: {} accesses in {:.2}s  ({:.0} accesses/sec, {} allocs)  -> {OUT}",
+        "\ntotal: {} accesses in {:.2}s  ({:.0} accesses/sec, {} allocs)  -> {out}",
         total_accesses,
         total_wall,
         total_accesses as f64 / total_wall.max(1e-9),
         total_allocs
     );
+}
+
+/// Loads a snapshot and flattens its per-system records to
+/// `(name, accesses, checksum, acc/s, alloc_bytes)` rows.
+fn load_snapshot(path: &str) -> Result<(Json, Vec<SnapshotRow>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let systems = doc
+        .get("systems")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: missing \"systems\" array"))?;
+    let mut rows = Vec::new();
+    for s in systems {
+        let field = |key: &str| {
+            s.get(key)
+                .ok_or_else(|| format!("{path}: system record missing {key:?}"))
+        };
+        rows.push(SnapshotRow {
+            system: field("system")?.as_str().unwrap_or_default().to_string(),
+            accesses: field("accesses")?.as_u64().unwrap_or_default(),
+            checksum: field("counter_checksum")?
+                .as_str()
+                .unwrap_or_default()
+                .to_string(),
+            acc_per_sec: field("accesses_per_sec")?.as_f64().unwrap_or_default(),
+            alloc_bytes: field("alloc_bytes")?.as_u64().unwrap_or_default(),
+        });
+    }
+    Ok((doc, rows))
+}
+
+struct SnapshotRow {
+    system: String,
+    accesses: u64,
+    checksum: String,
+    acc_per_sec: f64,
+    alloc_bytes: u64,
+}
+
+/// `throughput compare <before.json> <after.json>`: throughput/allocation
+/// deltas are informational; checksum or access-count drift is an error.
+fn run_compare(before_path: &str, after_path: &str) -> ExitCode {
+    let (before_doc, before) = match load_snapshot(before_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (after_doc, after) = match load_snapshot(after_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mode = |d: &Json| {
+        d.get("mode")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let (mode_b, mode_a) = (mode(&before_doc), mode(&after_doc));
+    println!("== compare {before_path} ({mode_b}) -> {after_path} ({mode_a}) ==");
+    if mode_b != mode_a {
+        println!("warning: comparing different modes ({mode_b} vs {mode_a})");
+    }
+
+    let mut mismatches = 0usize;
+    println!(
+        "{:<10} {:>14} {:>14} {:>8}   {:>13} {:>8}   checksum",
+        "system", "acc/s before", "acc/s after", "Δ", "alloc_bytes", "Δ"
+    );
+    for b in &before {
+        let Some(a) = after.iter().find(|a| a.system == b.system) else {
+            println!("{:<10} missing from {after_path}", b.system);
+            mismatches += 1;
+            continue;
+        };
+        let dv = (a.acc_per_sec / b.acc_per_sec.max(1e-9) - 1.0) * 100.0;
+        let db = a.alloc_bytes as i128 - b.alloc_bytes as i128;
+        let ck = if a.checksum == b.checksum && a.accesses == b.accesses {
+            "identical"
+        } else {
+            mismatches += 1;
+            "MISMATCH"
+        };
+        println!(
+            "{:<10} {:>14.0} {:>14.0} {:>+7.1}%   {:>13} {:>+8}   {}",
+            b.system, b.acc_per_sec, a.acc_per_sec, dv, a.alloc_bytes, db, ck
+        );
+    }
+    for a in &after {
+        if !before.iter().any(|b| b.system == a.system) {
+            println!("{:<10} missing from {before_path}", a.system);
+            mismatches += 1;
+        }
+    }
+
+    if mismatches > 0 {
+        println!(
+            "\n{mismatches} system(s) diverged: counters or access streams changed, \
+             not just machine speed"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nall {} system checksums identical", before.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        let [_, before, after] = args.as_slice() else {
+            eprintln!("usage: throughput compare <before.json> <after.json>");
+            return ExitCode::from(2);
+        };
+        return run_compare(before, after);
+    }
+    run_bench(args.iter().any(|a| a == "--smoke"));
+    ExitCode::SUCCESS
 }

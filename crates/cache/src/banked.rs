@@ -10,15 +10,27 @@
 //! path walks a single flat slice instead of chasing `Vec<Vec<...>>`
 //! indirections, mirroring how D2M's own LI scheme keeps metadata lookups
 //! pointer-free in hardware.
+//!
+//! Storage is split structure-of-arrays: the per-slot scan record (key +
+//! recency tick, 16 bytes) lives apart from the value payload, so the
+//! associative scans (`way_of`, victim selection, `is_mru`) stride over a
+//! dense tag array — the software analogue of a hardware tag array sitting
+//! next to a data array — instead of skipping over value bytes.
 
 use d2m_common::rng::SimRng;
 
-#[derive(Clone, Debug)]
-struct Slot<V> {
+/// Per-slot scan record. `last_use == 0` means the slot is empty — ticks
+/// start at 1, so an occupied slot always has a nonzero tick.
+#[derive(Clone, Copy, Debug)]
+struct SlotMeta {
     key: u64,
     last_use: u64,
-    value: V,
 }
+
+const EMPTY: SlotMeta = SlotMeta {
+    key: 0,
+    last_use: 0,
+};
 
 /// A fixed geometry of `banks × sets × ways` slots in one contiguous arena,
 /// mapping `u64` keys to `V` values within each `(bank, set)`.
@@ -27,7 +39,11 @@ pub struct Banked<V> {
     banks: usize,
     sets: usize,
     ways: usize,
-    slots: Vec<Option<Slot<V>>>,
+    /// Scan records, `(bank * sets + set) * ways + way` indexed.
+    meta: Vec<SlotMeta>,
+    /// Value payloads, same indexing. `vals[i].is_some()` ⇔
+    /// `meta[i].last_use != 0`.
+    vals: Vec<Option<V>>,
     /// One LRU clock per bank — identical tick sequences to per-bank
     /// `SetAssoc` instances, which is what keeps replacement byte-identical.
     ticks: Vec<u64>,
@@ -58,13 +74,15 @@ impl<V> Banked<V> {
         assert!(banks > 0, "banks must be nonzero");
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         assert!(ways > 0, "ways must be nonzero");
-        let mut slots = Vec::with_capacity(banks * sets * ways);
-        slots.resize_with(banks * sets * ways, || None);
+        let n = banks * sets * ways;
+        let mut vals = Vec::with_capacity(n);
+        vals.resize_with(n, || None);
         Self {
             banks,
             sets,
             ways,
-            slots,
+            meta: vec![EMPTY; n],
+            vals,
             ticks: vec![0; banks],
             hashed,
         }
@@ -114,12 +132,13 @@ impl<V> Banked<V> {
     }
 
     /// Finds the way holding `key` in `(bank, set)`, if present. No LRU
-    /// update.
+    /// update. A dense scan over the 16-byte records only.
+    #[inline]
     pub fn way_of(&self, bank: usize, set: usize, key: u64) -> Option<usize> {
         let b = self.base(bank, set);
-        self.slots[b..b + self.ways]
+        self.meta[b..b + self.ways]
             .iter()
-            .position(|s| s.as_ref().is_some_and(|s| s.key == key))
+            .position(|m| m.last_use != 0 && m.key == key)
     }
 
     /// Keyed lookup with LRU touch. Returns the value if present.
@@ -127,7 +146,7 @@ impl<V> Banked<V> {
         let way = self.way_of(bank, set, key)?;
         self.touch(bank, set, way);
         let b = self.base(bank, set);
-        self.slots[b + way].as_ref().map(|s| &s.value)
+        self.vals[b + way].as_ref()
     }
 
     /// Keyed mutable lookup with LRU touch.
@@ -135,36 +154,41 @@ impl<V> Banked<V> {
         let way = self.way_of(bank, set, key)?;
         self.touch(bank, set, way);
         let b = self.base(bank, set);
-        self.slots[b + way].as_mut().map(|s| &mut s.value)
+        self.vals[b + way].as_mut()
     }
 
     /// Keyed lookup without LRU update.
     pub fn peek(&self, bank: usize, set: usize, key: u64) -> Option<&V> {
         let way = self.way_of(bank, set, key)?;
         let b = self.base(bank, set);
-        self.slots[b + way].as_ref().map(|s| &s.value)
+        self.vals[b + way].as_ref()
     }
 
     /// Direct slot read: `(key, value)` at `(bank, set, way)` if occupied.
+    #[inline]
     pub fn at(&self, bank: usize, set: usize, way: usize) -> Option<(u64, &V)> {
         assert!(way < self.ways, "way {way} out of range");
-        let b = self.base(bank, set);
-        self.slots[b + way].as_ref().map(|s| (s.key, &s.value))
+        let i = self.base(bank, set) + way;
+        let key = self.meta[i].key;
+        self.vals[i].as_ref().map(|v| (key, v))
     }
 
     /// Direct mutable slot access (no LRU update; pair with [`Self::touch`]).
+    #[inline]
     pub fn at_mut(&mut self, bank: usize, set: usize, way: usize) -> Option<(u64, &mut V)> {
         assert!(way < self.ways, "way {way} out of range");
-        let b = self.base(bank, set);
-        self.slots[b + way].as_mut().map(|s| (s.key, &mut s.value))
+        let i = self.base(bank, set) + way;
+        let key = self.meta[i].key;
+        self.vals[i].as_mut().map(|v| (key, v))
     }
 
     /// Marks `(bank, set, way)` most-recently used.
     pub fn touch(&mut self, bank: usize, set: usize, way: usize) {
         let t = self.bump(bank);
-        let b = self.base(bank, set);
-        if let Some(s) = self.slots[b + way].as_mut() {
-            s.last_use = t;
+        let i = self.base(bank, set) + way;
+        let m = &mut self.meta[i];
+        if m.last_use != 0 {
+            m.last_use = t;
         }
     }
 
@@ -172,13 +196,13 @@ impl<V> Banked<V> {
     /// its set.
     pub fn is_mru(&self, bank: usize, set: usize, way: usize) -> bool {
         let b = self.base(bank, set);
-        let Some(me) = self.slots[b + way].as_ref() else {
+        let me = self.meta[b + way];
+        if me.last_use == 0 {
             return false;
-        };
-        self.slots[b..b + self.ways]
+        }
+        self.meta[b..b + self.ways]
             .iter()
-            .flatten()
-            .all(|s| s.last_use <= me.last_use)
+            .all(|m| m.last_use <= me.last_use)
     }
 
     /// Inserts at an explicit `(bank, set, way)`, returning any evicted
@@ -193,36 +217,32 @@ impl<V> Banked<V> {
     ) -> Option<(u64, V)> {
         assert!(way < self.ways, "way {way} out of range");
         let t = self.bump(bank);
-        let b = self.base(bank, set);
-        let old = self.slots[b + way].replace(Slot {
-            key,
-            last_use: t,
-            value,
-        });
-        old.map(|s| (s.key, s.value))
+        let i = self.base(bank, set) + way;
+        let old_key = self.meta[i].key;
+        self.meta[i] = SlotMeta { key, last_use: t };
+        self.vals[i].replace(value).map(|v| (old_key, v))
     }
 
     /// Removes and returns the entry at `(bank, set, way)`.
     pub fn remove(&mut self, bank: usize, set: usize, way: usize) -> Option<(u64, V)> {
         assert!(way < self.ways, "way {way} out of range");
-        let b = self.base(bank, set);
-        self.slots[b + way].take().map(|s| (s.key, s.value))
+        let i = self.base(bank, set) + way;
+        let key = self.meta[i].key;
+        self.meta[i] = EMPTY;
+        self.vals[i].take().map(|v| (key, v))
     }
 
     /// LRU victim way: the first invalid way if any, otherwise the
-    /// least-recently-used way.
+    /// least-recently-used way. Scans records only — empty slots (tick 0)
+    /// naturally win the minimum.
     pub fn victim_way(&self, bank: usize, set: usize) -> usize {
         let b = self.base(bank, set);
         let mut victim = 0;
         let mut best = u64::MAX;
-        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
-            match slot {
-                None => return w,
-                Some(s) if s.last_use < best => {
-                    best = s.last_use;
-                    victim = w;
-                }
-                _ => {}
+        for (w, m) in self.meta[b..b + self.ways].iter().enumerate() {
+            if m.last_use < best {
+                best = m.last_use;
+                victim = w;
             }
         }
         victim
@@ -231,8 +251,8 @@ impl<V> Banked<V> {
     /// Random victim way among valid entries (invalid ways still win first).
     pub fn victim_way_random(&self, bank: usize, set: usize, rng: &mut SimRng) -> usize {
         let b = self.base(bank, set);
-        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
-            if slot.is_none() {
+        for (w, m) in self.meta[b..b + self.ways].iter().enumerate() {
+            if m.last_use == 0 {
                 return w;
             }
         }
@@ -248,16 +268,15 @@ impl<V> Banked<V> {
         let b = self.base(bank, set);
         let mut victim = 0;
         let mut best = (u64::MAX, u64::MAX);
-        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
-            match slot {
-                None => return w,
-                Some(s) => {
-                    let c = (cost(s.key, &s.value), s.last_use);
-                    if c < best {
-                        best = c;
-                        victim = w;
-                    }
-                }
+        for (w, m) in self.meta[b..b + self.ways].iter().enumerate() {
+            if m.last_use == 0 {
+                return w;
+            }
+            let v = self.vals[b + w].as_ref().expect("meta/vals in sync");
+            let c = (cost(m.key, v), m.last_use);
+            if c < best {
+                best = c;
+                victim = w;
             }
         }
         victim
@@ -267,12 +286,13 @@ impl<V> Banked<V> {
     /// `(set, way, key, &value)`.
     pub fn iter_bank(&self, bank: usize) -> impl Iterator<Item = (usize, usize, u64, &V)> {
         let b = self.base(bank, 0);
-        self.slots[b..b + self.sets * self.ways]
+        let n = self.sets * self.ways;
+        self.meta[b..b + n]
             .iter()
+            .zip(&self.vals[b..b + n])
             .enumerate()
-            .filter_map(move |(i, s)| {
-                s.as_ref()
-                    .map(|s| (i / self.ways, i % self.ways, s.key, &s.value))
+            .filter_map(move |(i, (m, v))| {
+                v.as_ref().map(|v| (i / self.ways, i % self.ways, m.key, v))
             })
     }
 
@@ -280,24 +300,25 @@ impl<V> Banked<V> {
     /// `(way, key, &value)`.
     pub fn iter_set(&self, bank: usize, set: usize) -> impl Iterator<Item = (usize, u64, &V)> {
         let b = self.base(bank, set);
-        self.slots[b..b + self.ways]
+        self.meta[b..b + self.ways]
             .iter()
+            .zip(&self.vals[b..b + self.ways])
             .enumerate()
-            .filter_map(|(w, s)| s.as_ref().map(|s| (w, s.key, &s.value)))
+            .filter_map(|(w, (m, v))| v.as_ref().map(|v| (w, m.key, v)))
     }
 
     /// Number of occupied slots in `(bank, set)`.
     pub fn set_occupancy(&self, bank: usize, set: usize) -> usize {
         let b = self.base(bank, set);
-        self.slots[b..b + self.ways]
+        self.meta[b..b + self.ways]
             .iter()
-            .filter(|s| s.is_some())
+            .filter(|m| m.last_use != 0)
             .count()
     }
 
     /// Total occupied slots across all banks.
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.meta.iter().filter(|m| m.last_use != 0).count()
     }
 }
 
@@ -387,6 +408,18 @@ mod tests {
         *c.get_mut(1, 1, 42).unwrap() = "world";
         assert_eq!(c.remove(1, 1, 1), Some((42, "world")));
         assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn removed_slot_is_not_found_by_its_old_key() {
+        // A stale key in an emptied record must not produce a phantom hit —
+        // occupancy is part of the scan predicate.
+        let mut c: Banked<u64> = Banked::new(1, 1, 2);
+        c.insert_at(0, 0, 0, 0, 10); // key 0 == the EMPTY sentinel key
+        assert_eq!(c.way_of(0, 0, 0), Some(0));
+        c.remove(0, 0, 0);
+        assert_eq!(c.way_of(0, 0, 0), None);
+        assert_eq!(c.at(0, 0, 0), None);
     }
 
     #[test]

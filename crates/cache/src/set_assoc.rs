@@ -15,22 +15,38 @@
 //! Replacement is true LRU per set via a global use-tick, which is
 //! deterministic and cheap; a random policy is available through
 //! [`SetAssoc::victim_way_random`].
+//!
+//! Storage is split structure-of-arrays: the per-slot scan record (key +
+//! recency tick, 16 bytes) lives apart from the value payload, so tag
+//! searches and victim scans stride over a dense array — the software
+//! analogue of a hardware tag array sitting next to a data array — instead
+//! of skipping over value bytes.
 
 use d2m_common::rng::SimRng;
 
-#[derive(Clone, Debug)]
-struct Slot<V> {
+/// Per-slot scan record. `last_use == 0` means the slot is empty — ticks
+/// start at 1, so an occupied slot always has a nonzero tick.
+#[derive(Clone, Copy, Debug)]
+struct SlotMeta {
     key: u64,
     last_use: u64,
-    value: V,
 }
+
+const EMPTY: SlotMeta = SlotMeta {
+    key: 0,
+    last_use: 0,
+};
 
 /// A set-associative array mapping `u64` keys to `V` values.
 #[derive(Clone, Debug)]
 pub struct SetAssoc<V> {
     sets: usize,
     ways: usize,
-    slots: Vec<Option<Slot<V>>>,
+    /// Scan records, `set * ways + way` indexed.
+    meta: Vec<SlotMeta>,
+    /// Value payloads, same indexing. `vals[i].is_some()` ⇔
+    /// `meta[i].last_use != 0`.
+    vals: Vec<Option<V>>,
     tick: u64,
     hashed: bool,
 }
@@ -59,12 +75,14 @@ impl<V> SetAssoc<V> {
     fn build(sets: usize, ways: usize, hashed: bool) -> Self {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         assert!(ways > 0, "ways must be nonzero");
-        let mut slots = Vec::with_capacity(sets * ways);
-        slots.resize_with(sets * ways, || None);
+        let n = sets * ways;
+        let mut vals = Vec::with_capacity(n);
+        vals.resize_with(n, || None);
         Self {
             sets,
             ways,
-            slots,
+            meta: vec![EMPTY; n],
+            vals,
             tick: 0,
             hashed,
         }
@@ -105,11 +123,13 @@ impl<V> SetAssoc<V> {
     }
 
     /// Finds the way holding `key` in `set`, if present. No LRU update.
+    /// A dense scan over the 16-byte records only.
+    #[inline]
     pub fn way_of(&self, set: usize, key: u64) -> Option<usize> {
         let b = self.base(set);
-        self.slots[b..b + self.ways]
+        self.meta[b..b + self.ways]
             .iter()
-            .position(|s| s.as_ref().is_some_and(|s| s.key == key))
+            .position(|m| m.last_use != 0 && m.key == key)
     }
 
     /// Keyed lookup with LRU touch. Returns the value if present.
@@ -117,7 +137,7 @@ impl<V> SetAssoc<V> {
         let way = self.way_of(set, key)?;
         self.touch(set, way);
         let b = self.base(set);
-        self.slots[b + way].as_ref().map(|s| &s.value)
+        self.vals[b + way].as_ref()
     }
 
     /// Keyed mutable lookup with LRU touch.
@@ -125,36 +145,39 @@ impl<V> SetAssoc<V> {
         let way = self.way_of(set, key)?;
         self.touch(set, way);
         let b = self.base(set);
-        self.slots[b + way].as_mut().map(|s| &mut s.value)
+        self.vals[b + way].as_mut()
     }
 
     /// Keyed lookup without LRU update.
     pub fn peek(&self, set: usize, key: u64) -> Option<&V> {
         let way = self.way_of(set, key)?;
         let b = self.base(set);
-        self.slots[b + way].as_ref().map(|s| &s.value)
+        self.vals[b + way].as_ref()
     }
 
     /// Direct slot read: `(key, value)` at `(set, way)` if occupied.
     pub fn at(&self, set: usize, way: usize) -> Option<(u64, &V)> {
         assert!(way < self.ways, "way {way} out of range");
-        let b = self.base(set);
-        self.slots[b + way].as_ref().map(|s| (s.key, &s.value))
+        let i = self.base(set) + way;
+        let key = self.meta[i].key;
+        self.vals[i].as_ref().map(|v| (key, v))
     }
 
     /// Direct mutable slot access (no LRU update; pair with [`Self::touch`]).
     pub fn at_mut(&mut self, set: usize, way: usize) -> Option<(u64, &mut V)> {
         assert!(way < self.ways, "way {way} out of range");
-        let b = self.base(set);
-        self.slots[b + way].as_mut().map(|s| (s.key, &mut s.value))
+        let i = self.base(set) + way;
+        let key = self.meta[i].key;
+        self.vals[i].as_mut().map(|v| (key, v))
     }
 
     /// Marks `(set, way)` most-recently used.
     pub fn touch(&mut self, set: usize, way: usize) {
         let t = self.bump();
-        let b = self.base(set);
-        if let Some(s) = self.slots[b + way].as_mut() {
-            s.last_use = t;
+        let i = self.base(set) + way;
+        let m = &mut self.meta[i];
+        if m.last_use != 0 {
+            m.last_use = t;
         }
     }
 
@@ -164,49 +187,45 @@ impl<V> SetAssoc<V> {
     /// of a remote NS-LLC slice (§IV-C).
     pub fn is_mru(&self, set: usize, way: usize) -> bool {
         let b = self.base(set);
-        let Some(me) = self.slots[b + way].as_ref() else {
+        let me = self.meta[b + way];
+        if me.last_use == 0 {
             return false;
-        };
-        self.slots[b..b + self.ways]
+        }
+        self.meta[b..b + self.ways]
             .iter()
-            .flatten()
-            .all(|s| s.last_use <= me.last_use)
+            .all(|m| m.last_use <= me.last_use)
     }
 
     /// Inserts at an explicit `(set, way)`, returning any evicted `(key, value)`.
     pub fn insert_at(&mut self, set: usize, way: usize, key: u64, value: V) -> Option<(u64, V)> {
         assert!(way < self.ways, "way {way} out of range");
         let t = self.bump();
-        let b = self.base(set);
-        let old = self.slots[b + way].replace(Slot {
-            key,
-            last_use: t,
-            value,
-        });
-        old.map(|s| (s.key, s.value))
+        let i = self.base(set) + way;
+        let old_key = self.meta[i].key;
+        self.meta[i] = SlotMeta { key, last_use: t };
+        self.vals[i].replace(value).map(|v| (old_key, v))
     }
 
     /// Removes and returns the entry at `(set, way)`.
     pub fn remove(&mut self, set: usize, way: usize) -> Option<(u64, V)> {
         assert!(way < self.ways, "way {way} out of range");
-        let b = self.base(set);
-        self.slots[b + way].take().map(|s| (s.key, s.value))
+        let i = self.base(set) + way;
+        let key = self.meta[i].key;
+        self.meta[i] = EMPTY;
+        self.vals[i].take().map(|v| (key, v))
     }
 
     /// LRU victim way: the first invalid way if any, otherwise the
-    /// least-recently-used way.
+    /// least-recently-used way. Scans records only — empty slots (tick 0)
+    /// naturally win the minimum, and strict `<` keeps the first one.
     pub fn victim_way(&self, set: usize) -> usize {
         let b = self.base(set);
         let mut victim = 0;
         let mut best = u64::MAX;
-        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
-            match slot {
-                None => return w,
-                Some(s) if s.last_use < best => {
-                    best = s.last_use;
-                    victim = w;
-                }
-                _ => {}
+        for (w, m) in self.meta[b..b + self.ways].iter().enumerate() {
+            if m.last_use < best {
+                best = m.last_use;
+                victim = w;
             }
         }
         victim
@@ -215,8 +234,8 @@ impl<V> SetAssoc<V> {
     /// Random victim way among valid entries (invalid ways still win first).
     pub fn victim_way_random(&self, set: usize, rng: &mut SimRng) -> usize {
         let b = self.base(set);
-        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
-            if slot.is_none() {
+        for (w, m) in self.meta[b..b + self.ways].iter().enumerate() {
+            if m.last_use == 0 {
                 return w;
             }
         }
@@ -235,16 +254,15 @@ impl<V> SetAssoc<V> {
         let b = self.base(set);
         let mut victim = 0;
         let mut best = (u64::MAX, u64::MAX);
-        for (w, slot) in self.slots[b..b + self.ways].iter().enumerate() {
-            match slot {
-                None => return w,
-                Some(s) => {
-                    let c = (cost(s.key, &s.value), s.last_use);
-                    if c < best {
-                        best = c;
-                        victim = w;
-                    }
-                }
+        for (w, m) in self.meta[b..b + self.ways].iter().enumerate() {
+            if m.last_use == 0 {
+                return w;
+            }
+            let v = self.vals[b + w].as_ref().expect("meta/vals in sync");
+            let c = (cost(m.key, v), m.last_use);
+            if c < best {
+                best = c;
+                victim = w;
             }
         }
         victim
@@ -252,39 +270,46 @@ impl<V> SetAssoc<V> {
 
     /// Iterates over all occupied slots as `(set, way, key, &value)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, u64, &V)> {
-        self.slots.iter().enumerate().filter_map(move |(i, s)| {
-            s.as_ref()
-                .map(|s| (i / self.ways, i % self.ways, s.key, &s.value))
-        })
+        self.meta
+            .iter()
+            .zip(&self.vals)
+            .enumerate()
+            .filter_map(move |(i, (m, v))| {
+                v.as_ref().map(|v| (i / self.ways, i % self.ways, m.key, v))
+            })
     }
 
     /// Iterates over the occupied slots of one set as `(way, key, &value)`.
     pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (usize, u64, &V)> {
         let b = self.base(set);
-        self.slots[b..b + self.ways]
+        self.meta[b..b + self.ways]
             .iter()
+            .zip(&self.vals[b..b + self.ways])
             .enumerate()
-            .filter_map(|(w, s)| s.as_ref().map(|s| (w, s.key, &s.value)))
+            .filter_map(|(w, (m, v))| v.as_ref().map(|v| (w, m.key, v)))
     }
 
     /// Number of occupied slots in a set.
     pub fn set_occupancy(&self, set: usize) -> usize {
         let b = self.base(set);
-        self.slots[b..b + self.ways]
+        self.meta[b..b + self.ways]
             .iter()
-            .filter(|s| s.is_some())
+            .filter(|m| m.last_use != 0)
             .count()
     }
 
     /// Total occupied slots.
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.meta.iter().filter(|m| m.last_use != 0).count()
     }
 
     /// Removes all entries.
     pub fn clear(&mut self) {
-        for s in &mut self.slots {
-            *s = None;
+        for m in &mut self.meta {
+            *m = EMPTY;
+        }
+        for v in &mut self.vals {
+            *v = None;
         }
     }
 }
@@ -362,6 +387,18 @@ mod tests {
     }
 
     #[test]
+    fn removed_slot_is_not_found_by_its_old_key() {
+        // A stale key in an emptied record must not produce a phantom hit —
+        // occupancy is part of the scan predicate.
+        let mut c: SetAssoc<u64> = SetAssoc::new(1, 2);
+        c.insert_at(0, 0, 0, 10); // key 0 == the EMPTY sentinel key
+        assert_eq!(c.way_of(0, 0), Some(0));
+        c.remove(0, 0);
+        assert_eq!(c.way_of(0, 0), None);
+        assert_eq!(c.at(0, 0), None);
+    }
+
+    #[test]
     fn direct_addressing_roundtrip() {
         let mut c: SetAssoc<&'static str> = SetAssoc::new(2, 2);
         c.insert_at(1, 1, 42, "hello");
@@ -418,6 +455,7 @@ mod tests {
         let mut c = filled(4, 2, 8);
         c.clear();
         assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.way_of(0, 0), None, "cleared keys must not resolve");
     }
 
     #[test]

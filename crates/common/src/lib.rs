@@ -31,6 +31,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod fasthash;
 pub mod json;
 pub mod oracle;
 pub mod outcome;
@@ -40,6 +41,7 @@ pub mod stats;
 
 pub use addr::{LineAddr, NodeId, PAddr, RegionAddr, VAddr, VRegionAddr};
 pub use config::MachineConfig;
+pub use fasthash::{FastHasher, FastMap};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use oracle::VersionOracle;
 pub use outcome::{AccessResult, ServicedBy};

@@ -11,15 +11,18 @@
 //! simulated load into a coherence check — the strongest correctness signal
 //! the test suite has.
 
-use std::collections::HashMap;
-
 use crate::addr::LineAddr;
+use crate::fasthash::FastMap;
 
 /// Tracks the latest store version per line and memory's current version.
+///
+/// Both maps are keyed by trusted line addresses and only ever read point-wise
+/// (no iteration), so they use the deterministic [`FastMap`] — the oracle sits
+/// on the hot path of every simulated access.
 #[derive(Clone, Debug, Default)]
 pub struct VersionOracle {
-    latest: HashMap<LineAddr, u64>,
-    memory: HashMap<LineAddr, u64>,
+    latest: FastMap<LineAddr, u64>,
+    memory: FastMap<LineAddr, u64>,
     next: u64,
 }
 

@@ -68,7 +68,7 @@ impl D2mSystem {
                     .md3
                     .peek(self.md3.set_index(region.raw()), region.raw())
                 {
-                    if e3.li[off] == me {
+                    if e3.li.get(off, self.enc) == me {
                         referenced = true;
                     }
                 }
@@ -285,11 +285,11 @@ impl D2mSystem {
     fn check_md3_li_determinism(&self) -> Result<(), String> {
         for (_, _, key, e3) in self.md3.iter() {
             let region = RegionAddr::new(key);
-            let invalid = e3.li.iter().filter(|l| !l.is_valid()).count();
-            if invalid > 0 && invalid < LINES_PER_REGION {
+            let valid = e3.li.count_valid() as usize;
+            if valid > 0 && valid < LINES_PER_REGION {
                 return Err(format!("MD3 entry {key:#x} mixes valid and invalid LIs"));
             }
-            if invalid == LINES_PER_REGION {
+            if valid == 0 {
                 // Private region: exactly one PB owner is expected.
                 if e3.pb.count_ones() != 1 {
                     return Err(format!(
@@ -299,7 +299,7 @@ impl D2mSystem {
                 }
                 continue;
             }
-            for (off, li) in e3.li.iter().enumerate() {
+            for (off, li) in e3.li.to_array(self.enc).iter().enumerate() {
                 let line = region.line(crate::meta_line_offset(off));
                 match *li {
                     Li::LlcFs { .. } | Li::LlcNs { .. } => {

@@ -47,6 +47,7 @@ pub mod invariants;
 pub mod li;
 pub mod lockbits;
 pub mod meta;
+pub mod packed;
 pub mod protocol;
 pub mod system;
 
@@ -57,7 +58,8 @@ pub use counters::{D2mCounters, ProtocolEvents};
 pub use error::ProtocolError;
 pub use li::{Li, LiEncoding};
 pub use lockbits::LockBits;
-pub use meta::{classify_pb, RegionClass};
+pub use meta::{classify_pb, MetadataFootprint, RegionClass};
+pub use packed::PackedLiArray;
 pub use system::{D2mFeatures, D2mSystem, D2mVariant};
 
 use d2m_common::addr::LineOffset;

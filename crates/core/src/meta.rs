@@ -8,10 +8,15 @@
 //! owns privately. Exactly one of (MD1 entry, MD2 entry) holds the *active*
 //! (authoritative) LI array per node — the MD2 entry's tracking pointer (TP)
 //! names the active MD1 entry, if any.
+//!
+//! All three entry kinds store their LI array as a [`PackedLiArray`] — two
+//! `u64` words at the paper's 6-bit-per-line hardware width — so the
+//! replacement-cost and validity queries below are single-word SWAR
+//! operations rather than 16-element enum scans.
 
-use d2m_common::addr::{NodeId, RegionAddr, LINES_PER_REGION};
+use d2m_common::addr::{NodeId, RegionAddr};
 
-use crate::li::Li;
+use crate::packed::PackedLiArray;
 
 /// Table II: region classification from the number of presence bits set.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -46,8 +51,8 @@ pub struct Md1Entry {
     pub region: RegionAddr,
     /// Region private bit (P).
     pub private: bool,
-    /// Location information, one per cacheline.
-    pub li: [Li; LINES_PER_REGION],
+    /// Location information, one 6-bit field per cacheline.
+    pub li: PackedLiArray,
 }
 
 /// Which MD1 a region's active entry lives in (footnote 2: an MD2 field
@@ -77,7 +82,7 @@ pub struct Md2Entry {
     /// Region private bit (P).
     pub private: bool,
     /// Location information — authoritative only while `tp` is `None`.
-    pub li: [Li; LINES_PER_REGION],
+    pub li: PackedLiArray,
     /// Tracking pointer to the active MD1 entry, if the region is active.
     pub tp: Option<TrackingPtr>,
     /// Whether this region's L1-resident lines live in the L1-I (footnote 2:
@@ -103,9 +108,9 @@ impl Md2Entry {
 impl Md2Entry {
     /// Number of lines this entry tracks inside the node (L1/L2) — the
     /// region-aware MD2 replacement cost (paper §II-A prefers evicting
-    /// regions with few cachelines present).
+    /// regions with few cachelines present). A two-popcount SWAR query.
     pub fn node_resident_lines(&self) -> u64 {
-        self.li.iter().filter(|l| l.is_node_local()).count() as u64
+        u64::from(self.li.count_node_local())
     }
 }
 
@@ -116,7 +121,7 @@ pub struct Md3Entry {
     pub pb: u8,
     /// Master locations; invalid while the region is Private (the owner's
     /// MD1/MD2 is authoritative).
-    pub li: [Li; LINES_PER_REGION],
+    pub li: PackedLiArray,
 }
 
 impl Md3Entry {
@@ -125,17 +130,40 @@ impl Md3Entry {
         classify_pb(self.pb)
     }
 
-    /// Nodes with the PB bit set.
+    /// Nodes with the PB bit set. The bound comes from [`NodeId::MAX_NODES`]
+    /// so this iteration cannot diverge from the config validator.
     pub fn pb_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..8u8)
+        (0..NodeId::MAX_NODES as u8)
             .filter(|n| self.pb & (1 << n) != 0)
             .map(NodeId::new)
     }
 
     /// Number of LIs pointing into the LLC — used by the MD3 replacement
-    /// policy (prefer evicting regions with little LLC residency).
+    /// policy (prefer evicting regions with little LLC residency). A
+    /// two-popcount SWAR query.
     pub fn llc_resident_lines(&self) -> u64 {
-        self.li.iter().filter(|l| l.is_llc()).count() as u64
+        u64::from(self.li.count_llc_resident())
+    }
+}
+
+/// Simulator-resident metadata footprint: bytes held in the MD structures,
+/// derived from entry sizes × configured capacities. Deterministic (pure
+/// type-layout arithmetic), so the throughput harness can record it as a
+/// comparable JSON field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MetadataFootprint {
+    /// All MD1 entries across both sides and all nodes.
+    pub md1_bytes: u64,
+    /// All MD2 entries across all nodes.
+    pub md2_bytes: u64,
+    /// The shared MD3's entries.
+    pub md3_bytes: u64,
+}
+
+impl MetadataFootprint {
+    /// Total metadata bytes.
+    pub fn total(&self) -> u64 {
+        self.md1_bytes + self.md2_bytes + self.md3_bytes
     }
 }
 
@@ -151,6 +179,8 @@ pub fn metadata_bits_per_region() -> (u32, u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::li::{Li, LiEncoding};
+    use d2m_common::addr::LINES_PER_REGION;
 
     #[test]
     fn table_ii_classification() {
@@ -164,7 +194,7 @@ mod tests {
     fn md3_pb_nodes_enumeration() {
         let e = Md3Entry {
             pb: 0b1000_0010,
-            li: [Li::Mem; LINES_PER_REGION],
+            li: PackedLiArray::MEM,
         };
         let nodes: Vec<u8> = e.pb_nodes().map(|n| n.raw()).collect();
         assert_eq!(nodes, vec![1, 7]);
@@ -172,11 +202,24 @@ mod tests {
     }
 
     #[test]
+    fn pb_nodes_bound_matches_pb_field_width() {
+        // Every bit of the u8 PB field must be visited: a full mask names
+        // exactly MAX_NODES nodes.
+        let e = Md3Entry {
+            pb: u8::MAX,
+            li: PackedLiArray::INVALID,
+        };
+        assert_eq!(e.pb_nodes().count(), NodeId::MAX_NODES);
+    }
+
+    #[test]
     fn resident_line_costs() {
+        let enc = LiEncoding::FarSide;
         let mut li = [Li::Mem; LINES_PER_REGION];
         li[0] = Li::L1 { way: 0 };
         li[1] = Li::L2 { way: 3 };
         li[2] = Li::LlcFs { way: 9 };
+        let li = PackedLiArray::from_array(&li, enc);
         let md2 = Md2Entry {
             private: true,
             li,
@@ -196,5 +239,14 @@ mod tests {
         assert_eq!(d2m, 104);
         assert_eq!(dir, 144);
         assert!(d2m <= dir, "paper §III-A: on par or better");
+    }
+
+    #[test]
+    fn entries_shrank_to_near_hardware_width() {
+        // The point of the packing: entry sizes are now dominated by the two
+        // LI words, not enum padding. Guard against regressions.
+        assert!(std::mem::size_of::<Md2Entry>() <= 32);
+        assert!(std::mem::size_of::<Md3Entry>() <= 24);
+        assert!(std::mem::size_of::<Md1Entry>() <= 32);
     }
 }

@@ -29,6 +29,7 @@ use crate::data::DataLine;
 use crate::error::ProtocolError;
 use crate::li::Li;
 use crate::meta::{Md1Entry, Md1Side, Md2Entry, Md3Entry, RegionClass, TrackingPtr};
+use crate::packed::PackedLiArray;
 use crate::system::{ArrKind, D2mSystem, MdRef};
 
 impl D2mSystem {
@@ -361,7 +362,7 @@ impl D2mSystem {
                 let li = self
                     .md2
                     .at(node, set2, way2)
-                    .map(|(_, e)| e.li[off])
+                    .map(|(_, e)| e.li.get(off, self.enc))
                     .expect("occupied");
                 if let Li::L1 { way: lway } = li {
                     let line = region.line(crate::meta_line_offset(off));
@@ -427,7 +428,7 @@ impl D2mSystem {
                 let li = self
                     .md2
                     .at(node, md2_set, md2_way)
-                    .map(|(_, e)| e.li[off])
+                    .map(|(_, e)| e.li.get(off, self.enc))
                     .expect("occupied");
                 if let Li::L1 { way: lway } = li {
                     let line = region.line(crate::meta_line_offset(off));
@@ -492,7 +493,7 @@ impl D2mSystem {
         &mut self,
         node: usize,
         region: RegionAddr,
-    ) -> Result<(bool, [Li; LINES_PER_REGION], u64), ProtocolError> {
+    ) -> Result<(bool, PackedLiArray, u64), ProtocolError> {
         let me = Endpoint::Node(NodeId::new(node as u8));
         let mut lat = self.noc.send(MsgClass::ReadMM, me, Endpoint::FarSide);
         lat += self.cfg.lat.md3;
@@ -514,10 +515,10 @@ impl D2mSystem {
                     e3.pb = 1 << node;
                     let li = entry.li;
                     let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
-                    e3.li = [Li::Invalid; LINES_PER_REGION];
+                    e3.li = PackedLiArray::INVALID;
                     (true, li)
                 }
-                RegionClass::Private if entry.li.iter().any(|l| l.is_valid()) => {
+                RegionClass::Private if entry.li.any_valid() => {
                     // One PB bit but valid MD3 LIs: the region lost its
                     // other sharers (pruning/spills) without ever being
                     // privately owned — MD3 is authoritative, so this is a
@@ -581,10 +582,10 @@ impl D2mSystem {
                 region.raw(),
                 Md3Entry {
                     pb: 1 << node,
-                    li: [Li::Invalid; LINES_PER_REGION],
+                    li: PackedLiArray::INVALID,
                 },
             );
-            (true, [Li::Mem; LINES_PER_REGION])
+            (true, PackedLiArray::MEM)
         };
         lat += self.noc.send(MsgClass::MdReply, Endpoint::FarSide, me);
         self.noc.send(MsgClass::Done, me, Endpoint::FarSide);
@@ -595,20 +596,20 @@ impl D2mSystem {
     /// globally-meaningful master locations. Lines whose master it holds
     /// become `Node(owner)`; its replicas contribute their RP (the true
     /// master location) so determinism survives later silent replica drops.
-    #[allow(clippy::needless_range_loop)]
     fn convert_owner_lis(
         &mut self,
         owner: usize,
         region: RegionAddr,
-    ) -> Result<[Li; LINES_PER_REGION], ProtocolError> {
+    ) -> Result<PackedLiArray, ProtocolError> {
         let md = self
             .find_active_md(owner, region)
             .expect("PB bit implies an MD2 entry");
-        let mut out = [Li::Invalid; LINES_PER_REGION];
+        let enc = self.enc;
+        let mut out = PackedLiArray::INVALID;
         for off in 0..LINES_PER_REGION {
             let li = self.li_get(owner, md, off);
             let line = region.line(crate::meta_line_offset(off));
-            out[off] = match li {
+            let converted = match li {
                 Li::L1 { way } => {
                     let set = self.l1_set(line);
                     let is_i = self.region_is_icache(owner, region);
@@ -663,6 +664,7 @@ impl D2mSystem {
                 // local replica; resolve it to the true master.
                 other => self.resolve_replica_chain(line, other)?,
             };
+            out.set(off, converted, enc);
         }
         Ok(out)
     }
@@ -706,7 +708,7 @@ impl D2mSystem {
         node: usize,
         region: RegionAddr,
         private: bool,
-        li: [Li; LINES_PER_REGION],
+        li: PackedLiArray,
         is_i: bool,
     ) -> Result<(usize, usize), ProtocolError> {
         let md2 = &self.md2;
@@ -895,7 +897,7 @@ impl D2mSystem {
             let tracked = self
                 .md3
                 .at(set3, way3)
-                .map(|(_, e)| e.li[off])
+                .map(|(_, e)| e.li.get(off, self.enc))
                 .expect("occupied");
             if tracked.is_llc() {
                 // Redirect to the existing LLC master.
@@ -946,9 +948,10 @@ impl D2mSystem {
         // (Invalid LIs: the owner's MD2 is authoritative and gets the slot
         // via the L1 replica's RP).
         if let Some(way3) = self.md3.way_of(set3, region.raw()) {
+            let enc = self.enc;
             let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
-            if e3.li[off].is_valid() {
-                e3.li[off] = slot_li;
+            if e3.li.is_valid(off) {
+                e3.li.set(off, slot_li, enc);
             }
         }
         // Data to the requester (and implicitly to the slice on the same
@@ -1162,7 +1165,7 @@ impl D2mSystem {
         let entry = *self.md3.at(set3, way3).map(|(_, e)| e).expect("occupied");
 
         // --- demote the old master & fetch the data ---
-        let old = entry.li[off];
+        let old = entry.li.get(off, self.enc);
         let mut victim = None;
         let mut version = 0;
         let mut serviced = ServicedBy::Llc;
@@ -1289,8 +1292,9 @@ impl D2mSystem {
         }
         lat += inv_lat;
 
+        let enc = self.enc;
         let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
-        e3.li[off] = Li::Node(NodeId::new(node as u8));
+        e3.li.set(off, Li::Node(NodeId::new(node as u8)), enc);
         self.noc.send(MsgClass::Done, me, Endpoint::FarSide);
 
         // MD2 pruning heuristic (paper §IV-A): nodes that received an
@@ -1885,13 +1889,14 @@ impl D2mSystem {
         // (e.g. L1 replica → local slice replica), so iterate per line until
         // the LI stabilizes on a global location.
         let is_i = self.region_is_icache(node, region);
+        let enc = self.enc;
         for off in 0..LINES_PER_REGION {
             let line = region.line(crate::meta_line_offset(off));
             for _ in 0..4 {
                 let li = self
                     .md2
                     .at(node, set, way)
-                    .map(|(_, e)| e.li[off])
+                    .map(|(_, e)| e.li.get(off, enc))
                     .expect("occupied");
                 match li {
                     Li::L1 { way: lway } => {
@@ -1921,7 +1926,7 @@ impl D2mSystem {
                             .expect("occupied");
                         self.llc.remove(node, lset, lway as usize);
                         let (_, e2) = self.md2.at_mut(node, set, way).expect("occupied");
-                        e2.li[off] = rp;
+                        e2.li.set(off, rp, enc);
                     }
                     _ => break,
                 }
@@ -1948,9 +1953,9 @@ impl D2mSystem {
                 e3.pb &= !(1 << node);
                 // If we were the private owner, MD3's LIs were invalid: our
                 // final LIs (all global now) re-seed them.
-                if e3.li.iter().all(|l| !l.is_valid()) {
+                if e3.li.all_invalid() {
                     debug_assert!(
-                        final_li.iter().all(|l| !l.is_node_local()),
+                        final_li.node_local_mask() == 0,
                         "spill must upload only global LIs: {final_li:?}"
                     );
                     e3.li = final_li;

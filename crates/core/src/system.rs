@@ -331,6 +331,21 @@ impl D2mSystem {
         (n * (l1 + md1 + md2 + tlb2 + line_meta + l2) + llc + llc_meta + md3) / 1024.0
     }
 
+    /// Simulator-resident metadata footprint (entry sizes × configured
+    /// capacities). This is what the region packing shrinks: each entry's
+    /// LI array is two `u64` words instead of a 16-element enum array.
+    pub fn metadata_footprint(&self) -> crate::meta::MetadataFootprint {
+        let n = self.cfg.nodes as u64;
+        crate::meta::MetadataFootprint {
+            md1_bytes: 2
+                * n
+                * self.cfg.md1.entries() as u64
+                * std::mem::size_of::<Md1Entry>() as u64,
+            md2_bytes: n * self.cfg.md2.entries() as u64 * std::mem::size_of::<Md2Entry>() as u64,
+            md3_bytes: self.cfg.md3.entries() as u64 * std::mem::size_of::<Md3Entry>() as u64,
+        }
+    }
+
     // ---------------- addressing helpers ----------------
 
     /// Per-region index scramble (0 when dynamic indexing is off).
@@ -444,34 +459,36 @@ impl D2mSystem {
         })
     }
 
-    /// Reads one LI through an [`MdRef`].
+    /// Reads one LI through an [`MdRef`] (a branch-free shift/mask on the
+    /// packed array).
     pub(crate) fn li_get(&self, node: usize, md: MdRef, off: usize) -> Li {
         match md {
             MdRef::Md1 { is_i, set, way } => {
                 let arr = if is_i { &self.md1i } else { &self.md1d };
                 arr.at(node, set, way)
-                    .map(|(_, e)| e.li[off])
+                    .map(|(_, e)| e.li.get(off, self.enc))
                     .expect("active MD1 entry")
             }
             MdRef::Md2 { set, way } => self
                 .md2
                 .at(node, set, way)
-                .map(|(_, e)| e.li[off])
+                .map(|(_, e)| e.li.get(off, self.enc))
                 .expect("active MD2 entry"),
         }
     }
 
     /// Writes one LI through an [`MdRef`].
     pub(crate) fn li_set(&mut self, node: usize, md: MdRef, off: usize, li: Li) {
+        let enc = self.enc;
         match md {
             MdRef::Md1 { is_i, set, way } => {
                 let arr = if is_i { &mut self.md1i } else { &mut self.md1d };
                 let (_, e) = arr.at_mut(node, set, way).expect("active MD1 entry");
-                e.li[off] = li;
+                e.li.set(off, li, enc);
             }
             MdRef::Md2 { set, way } => {
                 let (_, e) = self.md2.at_mut(node, set, way).expect("active MD2 entry");
-                e.li[off] = li;
+                e.li.set(off, li, enc);
             }
         }
     }
@@ -596,11 +613,12 @@ impl D2mSystem {
             }
         }
         let mut md3_fixed = false;
+        let enc = self.enc;
         let set3 = self.md3.set_index(region.raw());
         if let Some(way3) = self.md3.way_of(set3, region.raw()) {
             let (_, e3) = self.md3.at_mut(set3, way3).expect("occupied");
-            if e3.li[off] == from {
-                e3.li[off] = to;
+            if e3.li.get(off, enc) == from {
+                e3.li.set(off, to, enc);
                 md3_fixed = true;
             }
         }

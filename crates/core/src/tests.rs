@@ -991,34 +991,37 @@ fn protocol_message_conservation_laws() {
 #[test]
 fn corrupted_li_yields_protocol_error_not_abort() {
     use crate::error::ProtocolError;
-    use crate::li::Li;
+    use crate::li::{Li, LiEncoding};
 
     let mut c = cfg();
     c.check_coherence = false;
+    // Halve the LLC associativity (same capacity) so a way index can be out
+    // of geometry: the packed 6-bit LI field can encode ways 0..32, but this
+    // system only has 16.
+    c.llc = d2m_common::config::CacheGeometry::from_capacity(8 << 20, 16);
     let mut sys = D2mSystem::new(&c, D2mVariant::FarSide);
     let va = 0x900_0000u64;
     sys.access(&acc(0, AccessKind::Load, va), 0).unwrap();
 
-    // Plant a near-side pointer on this far-side system (slice 5 of 1) in
-    // the now-active MD1 entry, at an offset the L1 does not yet hold.
+    // Plant a raw out-of-geometry pattern (0b111111 = far-side way 31) in
+    // the now-active MD1 entry, at an offset the L1 does not yet hold. The
+    // packed array stores exactly what the 6-bit hardware field would.
     let md1 = &mut sys.md1d;
     let slots: Vec<(usize, usize)> = md1.iter_bank(0).map(|(s, w, _, _)| (s, w)).collect();
     assert!(!slots.is_empty(), "first access must activate an MD1 entry");
     for (s, w) in slots {
         let (_, e) = md1.at_mut(0, s, w).expect("occupied");
-        e.li[1] = Li::LlcNs {
-            node: NodeId::new(5),
-            way: 0,
-        };
+        e.li.set_raw(1, 0b11_1111);
+        assert_eq!(e.li.get(1, LiEncoding::FarSide), Li::LlcFs { way: 31 });
     }
 
     let err = sys
         .access(&acc(0, AccessKind::Load, va + 64), 0)
         .expect_err("corrupt LI must fail the transaction, not abort");
     assert!(
-        matches!(err, ProtocolError::LlcSlotOutOfRange { .. }),
+        matches!(err, ProtocolError::LlcSlotOutOfRange { ways: 16, .. }),
         "{err}"
     );
     // The error message names the offender for cell-failure reports.
-    assert!(err.to_string().contains("LlcNs"), "{err}");
+    assert!(err.to_string().contains("LlcFs"), "{err}");
 }

@@ -5,7 +5,7 @@ use d2m_common::config::MachineConfig;
 use d2m_common::outcome::AccessResult;
 use d2m_common::probe::Probe;
 use d2m_common::stats::Counters;
-use d2m_core::{D2mSystem, D2mVariant, ProtocolError};
+use d2m_core::{D2mSystem, D2mVariant, MetadataFootprint, ProtocolError};
 use d2m_energy::EnergyAccount;
 use d2m_noc::Noc;
 use d2m_workloads::Access;
@@ -196,6 +196,16 @@ impl AnySystem {
         }
     }
 
+    /// Simulator-resident metadata footprint (MD1/MD2/MD3 bytes, derived
+    /// from entry sizes × configured capacities). Baselines carry no split
+    /// metadata hierarchy and report all-zero.
+    pub fn metadata_footprint(&self) -> MetadataFootprint {
+        match self {
+            AnySystem::Base(_) => MetadataFootprint::default(),
+            AnySystem::D2m(s) => s.metadata_footprint(),
+        }
+    }
+
     /// D2M-only view, for protocol-case statistics.
     pub fn as_d2m(&self) -> Option<&D2mSystem> {
         match self {
@@ -225,6 +235,22 @@ mod tests {
             let r = sys.access(&a, 0).unwrap();
             assert!(r.latency > 0, "{}", kind.name());
             assert!(sys.sram_kb() > 1000.0);
+        }
+    }
+
+    #[test]
+    fn metadata_footprint_is_d2m_only_and_deterministic() {
+        let cfg = MachineConfig::default();
+        for kind in SystemKind::ALL {
+            let sys = AnySystem::build(kind, &cfg, 1);
+            let fp = sys.metadata_footprint();
+            if kind.is_d2m() {
+                assert!(fp.md1_bytes > 0 && fp.md2_bytes > 0 && fp.md3_bytes > 0);
+                // Pure type-layout arithmetic: a rebuild reports the same bytes.
+                assert_eq!(AnySystem::build(kind, &cfg, 99).metadata_footprint(), fp);
+            } else {
+                assert_eq!(fp.total(), 0, "{}", kind.name());
+            }
         }
     }
 
