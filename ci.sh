@@ -24,7 +24,8 @@ echo "== throughput harness (smoke) =="
 # diffed against it: any counter-checksum or access-count drift fails the
 # build, while throughput/allocation deltas are machine noise and only warn.
 committed_smoke="$(mktemp)"
-trap 'rm -f "$committed_smoke"' EXIT
+fault_dir="$(mktemp -d)"
+trap 'rm -f "$committed_smoke"; rm -rf "$fault_dir"' EXIT
 cp BENCH_throughput.smoke.json "$committed_smoke"
 cargo run --release -q -p d2m-bench --bin throughput -- --smoke
 test -s BENCH_throughput.smoke.json
@@ -37,5 +38,39 @@ echo "== throughput compare (committed smoke vs fresh smoke) =="
 cargo run --release -q -p d2m-bench --bin throughput -- \
     compare "$committed_smoke" BENCH_throughput.smoke.json \
     || { echo "simulation behavior drifted from the committed smoke snapshot"; exit 1; }
+
+echo "== fault-tolerant sweep smoke (inject, kill, resume, diff) =="
+# End-to-end proof of the sweep engine's fault-tolerance contract, against
+# the real release binary and a real process death (not an in-process
+# simulation): a cell panic must not abort the sweep, and a sweep killed
+# mid-run must resume to byte-identical JSON.
+SWEEP_ARGS=(--sweep ci-fault --workloads swaptions,mix2 --systems base-2l,d2m-ns-r
+            --instructions 20000 --warmup 5000 --jobs 2)
+
+# 1. Clean run with one injected cell panic: exit 0, failure recorded in JSON.
+D2M_FAULT="cell@ci-fault:1:panic" \
+    cargo run --release -q -p d2m-sim --bin d2m-simulate -- \
+    "${SWEEP_ARGS[@]}" --out "$fault_dir/clean.json"
+grep -q '"error"' "$fault_dir/clean.json" \
+    || { echo "injected panic left no error in the sweep JSON"; exit 1; }
+
+# 2. Same sweep, killed right after the second checkpointed cell.
+set +e
+D2M_FAULT="cell@ci-fault:1:panic,checkpoint@ci-fault:2:exit" \
+    cargo run --release -q -p d2m-sim --bin d2m-simulate -- \
+    "${SWEEP_ARGS[@]}" --checkpoint "$fault_dir/sweep.ckpt"
+kill_status=$?
+set -e
+[ "$kill_status" -eq 43 ] \
+    || { echo "injected kill exited with $kill_status, expected 43"; exit 1; }
+
+# 3. Resume past the kill (same injected panic, still deterministic) and
+#    require byte-identity with the uninterrupted run.
+D2M_FAULT="cell@ci-fault:1:panic" \
+    cargo run --release -q -p d2m-sim --bin d2m-simulate -- \
+    "${SWEEP_ARGS[@]}" --checkpoint "$fault_dir/sweep.ckpt" --resume \
+    --out "$fault_dir/resumed.json"
+cmp "$fault_dir/clean.json" "$fault_dir/resumed.json" \
+    || { echo "resumed sweep JSON differs from the uninterrupted run"; exit 1; }
 
 echo "== ci.sh: all checks passed =="

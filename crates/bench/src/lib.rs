@@ -70,13 +70,7 @@ pub fn pct(x: f64) -> String {
 
 /// FNV-1a hash of a deterministic-JSON rendering, used to key sweep caches.
 fn json_hash<T: ToJson>(value: &T) -> u64 {
-    let text = value.to_json().to_string_compact();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    d2m_common::fnv1a_64(value.to_json().to_string_compact().as_bytes())
 }
 
 /// Runs a sweep, with its deterministic JSON cached on disk under `target/`.

@@ -67,6 +67,19 @@ impl Hasher for FastHasher {
 /// A `HashMap` keyed by trusted integers, using [`FastHasher`].
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
+/// FNV-1a over a byte string — the workspace's stable content fingerprint
+/// (sweep-cache keys, checkpoint-journal spec fingerprints). Unlike
+/// [`FastHasher`], the result is part of on-disk formats, so the constants
+/// are the published FNV-1a parameters and must never change.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +115,14 @@ mod tests {
         for k in 0..1000 {
             assert_eq!(m.get(&k), Some(&(k * 3)));
         }
+    }
+
+    #[test]
+    fn fnv1a_matches_published_vectors() {
+        // Reference values of the standard 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

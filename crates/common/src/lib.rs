@@ -7,6 +7,9 @@
 //!   paper (64 B cachelines, 16-line regions).
 //! * [`config`] — the machine configuration (Table III analogue) shared by the
 //!   baselines and all D2M variants.
+//! * [`faultpoint`] — env-driven fault injection (`D2M_FAULT`) so tests and
+//!   CI can provoke the panics, transient failures and kills that the sweep
+//!   engine's fault-tolerance paths must survive.
 //! * [`json`] — minimal deterministic JSON (the workspace builds without
 //!   external crates; byte-stable output is what the sweep engine's
 //!   determinism guarantee is stated in terms of).
@@ -32,6 +35,7 @@
 pub mod addr;
 pub mod config;
 pub mod fasthash;
+pub mod faultpoint;
 pub mod json;
 pub mod oracle;
 pub mod outcome;
@@ -41,7 +45,7 @@ pub mod stats;
 
 pub use addr::{LineAddr, NodeId, PAddr, RegionAddr, VAddr, VRegionAddr};
 pub use config::MachineConfig;
-pub use fasthash::{FastHasher, FastMap};
+pub use fasthash::{fnv1a_64, FastHasher, FastMap};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use oracle::VersionOracle;
 pub use outcome::{AccessResult, ServicedBy};

@@ -1,0 +1,459 @@
+//! Per-cell checkpoint journal: kill/resume for long-running sweeps.
+//!
+//! A full paper grid (45 workloads × 5 systems × config points) is hours of
+//! wall-clock inside one [`run_sweep`] call. [`run_sweep_checkpointed`]
+//! makes that call killable: every completed cell is appended to a journal
+//! file — one compact JSON line, fsync'd before the worker moves on — and a
+//! rerun with `resume = true` skips every journaled cell. The final
+//! [`SweepResult`] is assembled in cell-index order from journaled and
+//! freshly-run cells alike, so its JSON is **byte-identical** to an
+//! uninterrupted run — across any kill/resume point and any worker-thread
+//! count (`tests/sweep_fault_tolerance.rs` and `ci.sh` prove this with
+//! injected kills).
+//!
+//! # Journal format
+//!
+//! Line 1 is a header binding the journal to its spec:
+//!
+//! ```text
+//! {"journal":"d2m-sweep-checkpoint","version":1,"name":…,"master_seed":…,
+//!  "num_cells":…,"fingerprint":…}
+//! ```
+//!
+//! `fingerprint` is [`d2m_common::fnv1a_64`] over the spec's compact
+//! deterministic JSON, so resuming against a journal written for *any*
+//! different grid, run length or seed is rejected with
+//! [`CheckpointError::SpecMismatch`] instead of silently mixing results.
+//! Each subsequent line is one [`CellResult`]. Lines are appended in
+//! completion order — under a parallel pool that order is scheduling-
+//! dependent, but each *line* is a deterministic encoding and the journal is
+//! only ever read back into an index-keyed table, so scheduling never leaks
+//! into results. A truncated final line (the process died mid-write) is
+//! detected and discarded on resume; that cell is simply re-run.
+//!
+//! # Fault points
+//!
+//! After each append (write + fsync) the `checkpoint` fault point fires
+//! with the 1-based append sequence number as its key and the sweep name as
+//! its scope: `D2M_FAULT=checkpoint:3:exit` kills the process right after
+//! the third journaled cell, which is how CI exercises a real mid-sweep
+//! kill.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use d2m_common::fnv1a_64;
+use d2m_common::json::{FromJson, Json, ToJson};
+
+use crate::sweep::{missing_cell, pool_run, run_cell, CellResult, SweepResult, SweepSpec};
+
+/// Journal format version; bumped on any incompatible layout change.
+const JOURNAL_VERSION: u64 = 1;
+
+/// Why a checkpointed sweep could not run or resume.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The journal could not be created, read, appended or synced.
+    Io {
+        /// Journal path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The journal exists but is not a well-formed checkpoint journal.
+    Corrupt {
+        /// Journal path.
+        path: PathBuf,
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The journal was written for a different sweep spec.
+    SpecMismatch {
+        /// Journal path.
+        path: PathBuf,
+        /// Which header field disagreed, and how.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, error } => {
+                write!(f, "checkpoint journal {}: {error}", path.display())
+            }
+            CheckpointError::Corrupt { path, line, detail } => write!(
+                f,
+                "checkpoint journal {} line {line}: {detail}",
+                path.display()
+            ),
+            CheckpointError::SpecMismatch { path, detail } => write!(
+                f,
+                "checkpoint journal {} belongs to a different sweep: {detail}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// The spec fingerprint stored in (and checked against) journal headers.
+fn spec_fingerprint(spec: &SweepSpec) -> u64 {
+    fnv1a_64(spec.to_json().to_string_compact().as_bytes())
+}
+
+fn header_json(spec: &SweepSpec) -> Json {
+    Json::Obj(vec![
+        (
+            "journal".to_string(),
+            Json::Str("d2m-sweep-checkpoint".to_string()),
+        ),
+        ("version".to_string(), Json::U64(JOURNAL_VERSION)),
+        ("name".to_string(), Json::Str(spec.name.clone())),
+        ("master_seed".to_string(), Json::U64(spec.master_seed)),
+        ("num_cells".to_string(), Json::U64(spec.num_cells() as u64)),
+        ("fingerprint".to_string(), Json::U64(spec_fingerprint(spec))),
+    ])
+}
+
+fn check_header(spec: &SweepSpec, header: &Json, path: &Path) -> Result<(), CheckpointError> {
+    let mismatch = |detail: String| CheckpointError::SpecMismatch {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let expect = header_json(spec);
+    for (key, want) in match &expect {
+        Json::Obj(fields) => fields.iter(),
+        _ => unreachable!("header_json builds an object"),
+    } {
+        let got = header.get(key);
+        if got != Some(want) {
+            return Err(mismatch(format!(
+                "header field {key:?} is {} (expected {})",
+                got.map_or("missing".to_string(), Json::to_string_compact),
+                want.to_string_compact()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses an existing journal into an index-keyed table of completed cells.
+///
+/// Tolerates exactly one kind of damage: a final line that does not parse,
+/// which is what a kill mid-append leaves behind; it is reported on stderr
+/// and the cell re-runs. Damage anywhere else is [`CheckpointError::Corrupt`].
+fn load_journal(spec: &SweepSpec, path: &Path) -> Result<Vec<Option<CellResult>>, CheckpointError> {
+    let text = std::fs::read_to_string(path).map_err(|error| CheckpointError::Io {
+        path: path.to_path_buf(),
+        error,
+    })?;
+    let corrupt = |line: usize, detail: String| CheckpointError::Corrupt {
+        path: path.to_path_buf(),
+        line,
+        detail,
+    };
+    let mut done: Vec<Option<CellResult>> = vec![None; spec.num_cells()];
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Err(corrupt(1, "empty journal (missing header)".to_string()));
+    }
+    let header =
+        Json::parse(lines[0]).map_err(|e| corrupt(1, format!("unparseable header: {e}")))?;
+    check_header(spec, &header, path)?;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let lineno = i + 1;
+        let is_last = i == lines.len() - 1;
+        let cell = match Json::parse(line).and_then(|j| CellResult::from_json(&j)) {
+            Ok(c) => c,
+            Err(e) if is_last => {
+                // A kill mid-append leaves a truncated tail; losing that one
+                // cell is the designed-for case, not corruption.
+                eprintln!(
+                    "warning: checkpoint journal {}: discarding truncated final line {lineno} ({e})",
+                    path.display()
+                );
+                break;
+            }
+            Err(e) => return Err(corrupt(lineno, format!("unparseable cell: {e}"))),
+        };
+        let index = cell.index as usize;
+        if index >= done.len() {
+            return Err(corrupt(
+                lineno,
+                format!("cell index {index} out of range (grid has {})", done.len()),
+            ));
+        }
+        if cell.seed != spec.cell_seed(index) {
+            return Err(corrupt(
+                lineno,
+                format!("cell {index} seed does not match the spec's derivation"),
+            ));
+        }
+        // Appends are idempotent; if a cell ever appears twice, the later
+        // (most recently journaled) line wins.
+        done[index] = Some(cell);
+    }
+    Ok(done)
+}
+
+struct JournalWriter {
+    file: File,
+    /// Cells appended by *this* run (resumed cells excluded); the
+    /// `checkpoint` fault-point key.
+    appended: u64,
+    /// First append failure; once set, journaling stops and the sweep
+    /// aborts after the pool drains.
+    error: Option<std::io::Error>,
+}
+
+impl JournalWriter {
+    /// Appends one line followed by fsync, so a completed cell survives any
+    /// later kill. On failure, records the error and drops the line.
+    fn append(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        let r = self
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.sync_data());
+        match r {
+            Ok(()) => self.appended += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Runs a sweep with a per-cell checkpoint journal at `path`.
+///
+/// With `resume = false` any existing journal at `path` is discarded and
+/// the whole grid runs. With `resume = true` and an existing journal, cells
+/// already journaled are loaded instead of re-run (after validating the
+/// journal belongs to exactly this spec); with `resume = true` and no
+/// journal the sweep simply starts fresh. Either way the returned
+/// [`SweepResult`] — cells in index order, failures included — serializes
+/// byte-identically to [`crate::sweep::run_sweep_with_jobs`] on the same
+/// spec.
+///
+/// Cells fail in isolation exactly as in
+/// [`crate::sweep::run_sweep_with_jobs`]: a panicking or failing cell is
+/// journaled as a failed [`CellResult`] and does not abort the sweep.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the journal cannot be created, read or
+/// appended (an append failure aborts the sweep — silently continuing
+/// without durability would defeat the point of asking for a checkpoint);
+/// [`CheckpointError::Corrupt`] for a damaged journal (other than the
+/// expected truncated tail); [`CheckpointError::SpecMismatch`] when the
+/// journal belongs to a different spec.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn run_sweep_checkpointed(
+    spec: &SweepSpec,
+    jobs: usize,
+    path: &Path,
+    resume: bool,
+) -> Result<SweepResult, CheckpointError> {
+    assert!(jobs >= 1, "sweep needs at least one worker");
+    let started = Instant::now();
+    let io_err = |error: std::io::Error| CheckpointError::Io {
+        path: path.to_path_buf(),
+        error,
+    };
+    let n = spec.num_cells();
+    let resuming = resume && path.exists();
+    let mut done = if resuming {
+        load_journal(spec, path)?
+    } else {
+        vec![None; n]
+    };
+    let file = if resuming {
+        OpenOptions::new().append(true).open(path)
+    } else {
+        File::create(path)
+    }
+    .map_err(io_err)?;
+    let mut writer = JournalWriter {
+        file,
+        appended: 0,
+        error: None,
+    };
+    if !resuming {
+        writer.append(&header_json(spec).to_string_compact());
+        if let Some(e) = writer.error.take() {
+            return Err(io_err(e));
+        }
+        // The header is not a cell; it must not advance the fault-point key.
+        writer.appended = 0;
+    }
+
+    let todo: Vec<usize> = (0..n).filter(|&i| done[i].is_none()).collect();
+    let journal = Mutex::new(writer);
+    let jobs_used = jobs.min(todo.len().max(1));
+    let fresh = pool_run(todo.len(), jobs_used, |k| {
+        let index = todo[k];
+        {
+            // Journaling already failed: don't burn hours simulating cells
+            // whose results can no longer be made durable.
+            let j = journal.lock().unwrap_or_else(PoisonError::into_inner);
+            if j.error.is_some() {
+                return None;
+            }
+        }
+        let cell = run_cell(spec, index);
+        let seq = {
+            let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
+            j.append(&cell.to_json().to_string_compact());
+            j.appended
+        };
+        // Fire outside the lock, and isolated: a `panic` rule here must not
+        // take down the pool (the cell is already durable).
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d2m_common::faultpoint::fire("checkpoint", &spec.name, seq)
+        }));
+        Some(cell)
+    });
+    let writer = journal.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(error) = writer.error {
+        return Err(io_err(error));
+    }
+
+    for (k, c) in fresh.into_iter().enumerate() {
+        if let Some(Some(cell)) = c {
+            done[todo[k]] = Some(cell);
+        }
+    }
+    let cells = done
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.unwrap_or_else(|| missing_cell(spec, i)))
+        .collect();
+    Ok(SweepResult {
+        name: spec.name.clone(),
+        master_seed: spec.master_seed,
+        cells,
+        jobs_used,
+        wall_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunConfig;
+    use crate::sweep::run_sweep_with_jobs;
+    use crate::systems::SystemKind;
+    use d2m_common::MachineConfig;
+    use d2m_workloads::catalog;
+
+    fn spec(name: &str) -> SweepSpec {
+        SweepSpec::single(
+            name,
+            &MachineConfig::default(),
+            &[SystemKind::Base2L, SystemKind::D2mNsR],
+            &[catalog::by_name("swaptions").unwrap()],
+            &RunConfig {
+                instructions: 15_000,
+                warmup_instructions: 5_000,
+                seed: 11,
+            },
+        )
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("d2m-ckpt-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_journals_every_cell() {
+        let s = spec("ckpt-basic");
+        let path = tmp("basic.ckpt");
+        let res = run_sweep_checkpointed(&s, 2, &path, false).unwrap();
+        assert_eq!(
+            res.to_json_string(),
+            run_sweep_with_jobs(&s, 1).to_json_string()
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1 + s.num_cells());
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .contains("d2m-sweep-checkpoint"));
+    }
+
+    #[test]
+    fn resume_from_complete_journal_runs_nothing_and_is_identical() {
+        let s = spec("ckpt-complete");
+        let path = tmp("complete.ckpt");
+        let full = run_sweep_checkpointed(&s, 2, &path, false).unwrap();
+        let resumed = run_sweep_checkpointed(&s, 2, &path, true).unwrap();
+        assert_eq!(full.to_json_string(), resumed.to_json_string());
+        // Nothing was re-run, so nothing was appended.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1 + s.num_cells());
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_spec() {
+        let s = spec("ckpt-a");
+        let path = tmp("mismatch.ckpt");
+        run_sweep_checkpointed(&s, 1, &path, false).unwrap();
+        let mut other = spec("ckpt-a");
+        other.master_seed += 1;
+        let err = run_sweep_checkpointed(&other, 1, &path, true).unwrap_err();
+        assert!(matches!(err, CheckpointError::SpecMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("master_seed"), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_mid_journal_corruption() {
+        let s = spec("ckpt-corrupt");
+        let path = tmp("corrupt.ckpt");
+        run_sweep_checkpointed(&s, 1, &path, false).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{not json";
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = run_sweep_checkpointed(&s, 1, &path, true).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn without_resume_an_existing_journal_is_restarted() {
+        let s = spec("ckpt-restart");
+        let path = tmp("restart.ckpt");
+        run_sweep_checkpointed(&s, 1, &path, false).unwrap();
+        let res = run_sweep_checkpointed(&s, 1, &path, false).unwrap();
+        assert_eq!(
+            res.to_json_string(),
+            run_sweep_with_jobs(&s, 1).to_json_string()
+        );
+        // Restarted, not appended: exactly one header + one line per cell.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1 + s.num_cells());
+    }
+}

@@ -6,7 +6,10 @@
 //! are mostly hidden), finalizes energy (structure accesses + NoC + memory +
 //! leakage) and extracts every metric the paper's tables and figures report.
 //! The [`sweep`] module fans declarative (config × workload × system) grids
-//! over a deterministic work-stealing thread pool.
+//! over a deterministic work-stealing thread pool, with per-cell panic
+//! isolation and bounded retry; the [`checkpoint`] module adds an
+//! append-only journal so a killed sweep resumes without losing completed
+//! cells.
 //!
 //! # Example
 //!
@@ -21,12 +24,14 @@
 //! println!("{}: {:.1} msgs/KI", m.system, m.msgs_per_kilo_inst);
 //! ```
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;
 pub mod sweep;
 pub mod systems;
 
+pub use checkpoint::{run_sweep_checkpointed, CheckpointError};
 pub use experiments::{run_matrix, MatrixResult};
 pub use metrics::RunMetrics;
 pub use runner::{run_one, run_one_checked, run_one_observed, RunConfig, RunError, RunObservation};

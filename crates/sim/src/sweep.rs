@@ -27,10 +27,35 @@
 //!   time and the job count, so a 1-thread run and an N-thread run of the
 //!   same spec serialize to byte-identical text. The root-level
 //!   `tests/sweep_determinism.rs` test pins this property.
+//!
+//! # Fault tolerance
+//!
+//! A grid of 45 workloads × 5 systems × several configs is hours of
+//! wall-clock; one bad cell must never cost the other N−1:
+//!
+//! * **Panic isolation** — every cell attempt runs under
+//!   [`std::panic::catch_unwind`]. A panicking worker (an invalid machine
+//!   config, a simulator bug, an injected fault) yields a failed
+//!   [`CellResult`] with the panic message in [`CellResult::error`]; the
+//!   pool, and every other cell, keeps running.
+//! * **Bounded retry** — a cell failing with a *retryable* [`RunError`]
+//!   (see [`RunError::is_retryable`]) is retried up to [`MAX_ATTEMPTS`]
+//!   times with deterministic exponential backoff. The attempt count is
+//!   carried in [`CellResult::attempts`] and surfaced by
+//!   [`ObservedSweep::histograms_json`].
+//! * **Checkpoint / resume** — [`crate::checkpoint`] journals each
+//!   completed cell to an append-only fsync'd file, so a killed sweep
+//!   resumes without recomputing finished cells and still produces
+//!   byte-identical JSON.
+//! * **Fault injection** — the recovery paths are provoked on demand via
+//!   [`d2m_common::faultpoint`] (`D2M_FAULT=cell:17:panic`, …); the `cell`
+//!   fault point fires once per attempt with the cell index as its key and
+//!   the sweep name as its scope.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use d2m_common::config::MachineConfig;
 use d2m_common::json::{FromJson, Json, JsonError, ToJson};
@@ -39,8 +64,12 @@ use d2m_common::rng::derive_stream_seed;
 use d2m_workloads::WorkloadSpec;
 
 use crate::metrics::RunMetrics;
-use crate::runner::{run_one_checked, run_one_observed, RunConfig, RunObservation};
+use crate::runner::{run_one_checked, run_one_observed, RunConfig, RunError, RunObservation};
 use crate::systems::SystemKind;
+
+/// Maximum execution attempts per cell: the first run plus up to two
+/// retries for failures that are [`RunError::is_retryable`].
+pub const MAX_ATTEMPTS: u32 = 3;
 
 /// One named machine configuration in a sweep grid.
 #[derive(Clone, Debug, PartialEq)]
@@ -161,8 +190,14 @@ pub struct CellResult {
     /// Extracted metrics ([`RunMetrics::failed`] placeholder if `error` is
     /// set).
     pub metrics: RunMetrics,
+    /// Execution attempts the cell took (1 = first try, up to
+    /// [`MAX_ATTEMPTS`]). Greater than 1 only when a retryable failure was
+    /// retried; serialized only in that case, so clean sweeps keep the
+    /// pre-existing byte format.
+    pub attempts: u32,
     /// Why the cell failed, if it did. A corrupted-metadata or coherence
-    /// failure marks its own cell and leaves the rest of the sweep intact.
+    /// failure — or a worker panic — marks its own cell and leaves the rest
+    /// of the sweep intact.
     pub error: Option<String>,
 }
 
@@ -173,9 +208,11 @@ impl CellResult {
     }
 }
 
-// Hand-written instead of `impl_json_struct!` so the `error` key appears
-// only on failed cells: sweeps without failures keep the exact pre-existing
-// byte format (the golden-output and determinism tests pin it).
+// Hand-written instead of `impl_json_struct!` so the `attempts` and `error`
+// keys appear only on retried/failed cells: sweeps without failures keep the
+// exact pre-existing byte format (the golden-output and determinism tests
+// pin it). The checkpoint journal depends on this encoding round-tripping
+// byte-identically — see `failed_and_clean_cells_roundtrip_byte_identically`.
 impl ToJson for CellResult {
     fn to_json(&self) -> Json {
         let mut fields = vec![
@@ -186,6 +223,9 @@ impl ToJson for CellResult {
             ("seed".to_string(), self.seed.to_json()),
             ("metrics".to_string(), self.metrics.to_json()),
         ];
+        if self.attempts > 1 {
+            fields.push(("attempts".to_string(), Json::U64(u64::from(self.attempts))));
+        }
         if let Some(e) = &self.error {
             fields.push(("error".to_string(), Json::Str(e.clone())));
         }
@@ -202,6 +242,10 @@ impl FromJson for CellResult {
             workload: j.field("workload")?,
             seed: j.field("seed")?,
             metrics: j.field("metrics")?,
+            attempts: match j.get("attempts") {
+                None => 1,
+                Some(_) => j.field("attempts")?,
+            },
             error: match j.get("error") {
                 None => None,
                 Some(e) => Some(
@@ -309,18 +353,26 @@ pub fn default_jobs() -> usize {
 
 /// Runs a sweep on the default pool size (see [`default_jobs`]).
 ///
-/// # Panics
-///
-/// Panics if a worker thread panics (e.g. an invalid machine config).
+/// Worker panics and run failures never abort the sweep; see
+/// [`run_sweep_with_jobs`] for the per-cell failure semantics.
 pub fn run_sweep(spec: &SweepSpec) -> SweepResult {
     run_sweep_with_jobs(spec, default_jobs())
 }
 
-/// The work-stealing pool shared by the plain and observed sweeps: workers
-/// pull the next unclaimed cell index from an atomic counter, run it in
-/// isolation, and deposit the result into its preassigned slot — so the
-/// output order never depends on scheduling.
-fn pool_run<T: Send>(n: usize, jobs: usize, run_cell: impl Fn(usize) -> T + Sync) -> Vec<T> {
+/// The work-stealing pool shared by the plain, observed and checkpointed
+/// sweeps: workers pull the next unclaimed cell index from an atomic
+/// counter, run it in isolation, and deposit the result into its
+/// preassigned slot — so the output order never depends on scheduling.
+///
+/// `run_cell` closures are expected to be panic-free (cell execution wraps
+/// every attempt in `catch_unwind`); should one panic anyway, the slot stays
+/// `None` — the caller substitutes a failed placeholder — and lock poisoning
+/// is shrugged off rather than cascading into an abort of the whole pool.
+pub(crate) fn pool_run<T: Send>(
+    n: usize,
+    jobs: usize,
+    run_cell: impl Fn(usize) -> T + Sync,
+) -> Vec<Option<T>> {
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<T>>> =
         Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
@@ -332,16 +384,11 @@ fn pool_run<T: Send>(n: usize, jobs: usize, run_cell: impl Fn(usize) -> T + Sync
                     break;
                 }
                 let result = run_cell(index);
-                slots.lock().expect("slot mutex poisoned")[index] = Some(result);
+                slots.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(result);
             });
         }
     });
-    slots
-        .into_inner()
-        .expect("slot mutex poisoned")
-        .into_iter()
-        .map(|c| c.expect("every cell completed"))
-        .collect()
+    slots.into_inner().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The cell's static identity plus the run config that reproduces it.
@@ -350,14 +397,67 @@ fn cell_identity(spec: &SweepSpec, index: usize) -> (&ConfigPoint, SystemKind, &
     (&spec.configs[ci], spec.systems[si], &spec.workloads[wi])
 }
 
-fn run_cell(spec: &SweepSpec, index: usize) -> CellResult {
+/// Renders a panic payload as the cell error string. Deterministic for the
+/// common `&str`/`String` payloads (including injected-fault panics), so a
+/// sweep containing a panicked cell still serializes reproducibly.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deterministic exponential backoff before retry `attempt` (1-based): a
+/// pure function of the attempt number — never randomized — so retried
+/// sweeps remain reproducible in everything but wall-clock time.
+fn retry_backoff(attempt: u32) -> Duration {
+    Duration::from_millis(2u64 << attempt.min(6))
+}
+
+/// Runs one cell body under panic isolation with bounded retry.
+///
+/// Each attempt is wrapped in `catch_unwind`; a panic becomes an `Err` with
+/// the panic message and is **not** retried (a deterministic panic would
+/// recur, and a nondeterministic one left unknown state behind). A
+/// [`RunError::is_retryable`] failure is retried after [`retry_backoff`]
+/// until [`MAX_ATTEMPTS`] is exhausted. Returns the outcome plus the number
+/// of attempts consumed.
+fn run_attempts<T>(run: impl Fn() -> Result<T, RunError>) -> (Result<T, String>, u32) {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(&run)) {
+            Ok(Ok(v)) => return (Ok(v), attempts),
+            Ok(Err(e)) if e.is_retryable() && attempts < MAX_ATTEMPTS => {
+                std::thread::sleep(retry_backoff(attempts));
+            }
+            Ok(Err(e)) => return (Err(e.to_string()), attempts),
+            Err(p) => {
+                return (
+                    Err(format!("worker panicked: {}", panic_message(p.as_ref()))),
+                    attempts,
+                )
+            }
+        }
+    }
+}
+
+/// Assembles a [`CellResult`] from an outcome produced by [`run_attempts`].
+fn finish_cell(
+    spec: &SweepSpec,
+    index: usize,
+    outcome: Result<RunMetrics, String>,
+    attempts: u32,
+) -> CellResult {
     let (point, system, workload) = cell_identity(spec, index);
-    let rc = spec.cell_run_config(index);
-    let (metrics, error) = match run_one_checked(system, &point.config, workload, &rc) {
+    let (metrics, error) = match outcome {
         Ok(m) => (m, None),
         Err(e) => (
             RunMetrics::failed(system.name(), &workload.name, workload.category.name()),
-            Some(e.to_string()),
+            Some(e),
         ),
     };
     CellResult {
@@ -365,27 +465,77 @@ fn run_cell(spec: &SweepSpec, index: usize) -> CellResult {
         config: point.label.clone(),
         system,
         workload: workload.name.clone(),
-        seed: rc.seed,
+        seed: spec.cell_seed(index),
         metrics,
+        attempts,
         error,
     }
 }
 
+/// The `cell` fault point: one chance per attempt for an armed rule to
+/// panic, exit, or request an injected transient failure.
+fn injected_fault(spec: &SweepSpec, index: usize) -> Option<RunError> {
+    if d2m_common::faultpoint::fire("cell", &spec.name, index as u64) {
+        let (_, system, workload) = cell_identity(spec, index);
+        Some(RunError::Injected {
+            system: system.name(),
+            workload: workload.name.clone(),
+        })
+    } else {
+        None
+    }
+}
+
+pub(crate) fn run_cell(spec: &SweepSpec, index: usize) -> CellResult {
+    let (point, system, workload) = cell_identity(spec, index);
+    let rc = spec.cell_run_config(index);
+    let (outcome, attempts) = run_attempts(|| {
+        if let Some(e) = injected_fault(spec, index) {
+            return Err(e);
+        }
+        run_one_checked(system, &point.config, workload, &rc)
+    });
+    finish_cell(spec, index, outcome, attempts)
+}
+
+/// The placeholder for a slot the pool never filled — only reachable if a
+/// worker died outside the per-attempt isolation, which the engine treats
+/// as a failed cell rather than a reason to lose the sweep.
+pub(crate) fn missing_cell(spec: &SweepSpec, index: usize) -> CellResult {
+    finish_cell(
+        spec,
+        index,
+        Err("cell never completed (worker lost)".to_string()),
+        1,
+    )
+}
+
 /// Runs a sweep on exactly `jobs` worker threads.
 ///
-/// A failing cell (corrupted metadata, coherence violation) does not abort
-/// the sweep: it is reported through [`CellResult::error`] with placeholder
-/// metrics, and every other cell completes normally.
+/// # Failure semantics
+///
+/// A cell never takes the sweep down with it. Every attempt runs under
+/// `catch_unwind`, so a run failure (corrupted metadata, coherence
+/// violation) *or a worker panic* is reported through [`CellResult::error`]
+/// — with placeholder metrics — while every other cell completes normally;
+/// [`SweepResult::failures`] lists the casualties in cell-index order.
+/// Retryable failures (see [`RunError::is_retryable`]) are retried up to
+/// [`MAX_ATTEMPTS`] times with deterministic backoff, and the attempt count
+/// lands in [`CellResult::attempts`].
 ///
 /// # Panics
 ///
-/// Panics if `jobs` is zero or a worker thread panics.
+/// Panics if `jobs` is zero.
 pub fn run_sweep_with_jobs(spec: &SweepSpec, jobs: usize) -> SweepResult {
     assert!(jobs >= 1, "sweep needs at least one worker");
     let started = Instant::now();
     let n = spec.num_cells();
     let jobs_used = jobs.min(n.max(1));
-    let cells = pool_run(n, jobs_used, |index| run_cell(spec, index));
+    let cells = pool_run(n, jobs_used, |index| run_cell(spec, index))
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.unwrap_or_else(|| missing_cell(spec, i)))
+        .collect();
     SweepResult {
         name: spec.name.clone(),
         master_seed: spec.master_seed,
@@ -425,6 +575,11 @@ impl ObservedSweep {
                     ("system".to_string(), Json::Str(c.system.name().to_string())),
                     ("workload".to_string(), Json::Str(c.workload.clone())),
                 ];
+                // Omit-when-default: `attempts` appears only when a retry
+                // actually happened, mirroring the scalar cell encoding.
+                if c.attempts > 1 {
+                    fields.push(("attempts".to_string(), Json::U64(u64::from(c.attempts))));
+                }
                 match o {
                     Some(o) => fields.push(("probe".to_string(), o.probe.report())),
                     // Omit-when-absent: a cell with no observation and no
@@ -448,9 +603,8 @@ impl ObservedSweep {
 
 /// Runs an observed sweep on the default pool size (see [`default_jobs`]).
 ///
-/// # Panics
-///
-/// Panics if a worker thread panics (e.g. an invalid machine config).
+/// Worker panics and run failures never abort the sweep; see
+/// [`run_sweep_with_jobs`] for the per-cell failure semantics.
 pub fn run_sweep_observed(spec: &SweepSpec) -> ObservedSweep {
     run_sweep_observed_with_jobs(spec, default_jobs())
 }
@@ -463,9 +617,13 @@ pub fn run_sweep_observed(spec: &SweepSpec) -> ObservedSweep {
 /// [`ObservedSweep::histograms_json`] — is byte-identical across thread
 /// counts.
 ///
+/// Cells fail in isolation exactly as in [`run_sweep_with_jobs`] (panic
+/// capture, bounded retry); a failed cell contributes no observation and
+/// nothing to the aggregate.
+///
 /// # Panics
 ///
-/// Panics if `jobs` is zero or a worker thread panics.
+/// Panics if `jobs` is zero.
 pub fn run_sweep_observed_with_jobs(spec: &SweepSpec, jobs: usize) -> ObservedSweep {
     assert!(jobs >= 1, "sweep needs at least one worker");
     let started = Instant::now();
@@ -474,26 +632,26 @@ pub fn run_sweep_observed_with_jobs(spec: &SweepSpec, jobs: usize) -> ObservedSw
     let pairs = pool_run(n, jobs_used, |index| {
         let (point, system, workload) = cell_identity(spec, index);
         let rc = spec.cell_run_config(index);
-        let (metrics, error, obs) = match run_one_observed(system, &point.config, workload, &rc) {
-            Ok(o) => (o.metrics.clone(), None, Some(o)),
-            Err(e) => (
-                RunMetrics::failed(system.name(), &workload.name, workload.category.name()),
-                Some(e.to_string()),
-                None,
-            ),
+        let (outcome, attempts) = run_attempts(|| {
+            if let Some(e) = injected_fault(spec, index) {
+                return Err(e);
+            }
+            run_one_observed(system, &point.config, workload, &rc)
+        });
+        let (obs, scalar) = match outcome {
+            Ok(o) => {
+                let metrics = o.metrics.clone();
+                (Some(o), Ok(metrics))
+            }
+            Err(e) => (None, Err(e)),
         };
-        let cell = CellResult {
-            index: index as u64,
-            config: point.label.clone(),
-            system,
-            workload: workload.name.clone(),
-            seed: rc.seed,
-            metrics,
-            error,
-        };
-        (cell, obs)
+        (finish_cell(spec, index, scalar, attempts), obs)
     });
-    let (cells, observations): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+    let (cells, observations): (Vec<_>, Vec<_>) = pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, pair)| pair.unwrap_or_else(|| (missing_cell(spec, i), None)))
+        .unzip();
     let mut aggregate = RecordingProbe::new();
     for o in observations.iter().flatten() {
         aggregate.merge(&o.probe);
@@ -653,6 +811,109 @@ mod tests {
         let back = SweepResult::from_json_string(&res.to_json_string()).unwrap();
         assert_eq!(back.cells, res.cells);
         assert_eq!(back.failures().len(), 1);
+    }
+
+    #[test]
+    fn failed_and_clean_cells_roundtrip_byte_identically() {
+        // PR 3 made `histograms_json` (and the scalar encoding) omit keys
+        // on clean cells; resume rebuilds `SweepResult`s from re-parsed
+        // cells, so serialize → parse → serialize must be a byte-level
+        // fixed point even when failed and clean cells are mixed.
+        let mut spec = tiny_spec();
+        spec.workloads.truncate(1);
+        let mut res = run_sweep_with_jobs(&spec, 2);
+        assert!(res.cells.len() >= 4);
+        res.cells[1].error = Some("synthetic: corrupted LI".into());
+        res.cells[1].metrics = RunMetrics::failed("D2M-NS-R", "swaptions", "Parallel");
+        res.cells[2].attempts = 3;
+        res.cells[3].attempts = 2;
+        res.cells[3].error = Some("injected transient fault on Base-2L/swaptions".into());
+        let first = res.to_json_string();
+        let back = SweepResult::from_json_string(&first).unwrap();
+        assert_eq!(back.cells, res.cells);
+        assert_eq!(back.failures().len(), 2);
+        let second = back.to_json_string();
+        assert!(
+            first.as_bytes() == second.as_bytes(),
+            "serialize → parse → serialize must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn attempts_key_is_omitted_until_a_retry_happens() {
+        let mut spec = tiny_spec();
+        spec.configs.truncate(1);
+        spec.workloads.truncate(1);
+        let mut res = run_sweep_with_jobs(&spec, 1);
+        assert!(res.cells.iter().all(|c| c.attempts == 1));
+        assert!(!res.to_json_string().contains("\"attempts\""));
+        res.cells[0].attempts = MAX_ATTEMPTS;
+        let text = res.to_json_string();
+        assert!(text.contains("\"attempts\": 3"), "{text}");
+        let back = SweepResult::from_json_string(&text).unwrap();
+        assert_eq!(back.cells[0].attempts, MAX_ATTEMPTS);
+        assert_eq!(back.cells[1].attempts, 1, "absent key decodes as 1");
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_its_cell() {
+        let mut spec = tiny_spec();
+        spec.name = "unit-panic".into();
+        let _g = d2m_common::faultpoint::arm("cell@unit-panic:3:panic").unwrap();
+        let res = run_sweep_with_jobs(&spec, 2);
+        assert_eq!(res.cells.len(), 8, "no cell may be lost");
+        let failures = res.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 3);
+        let err = failures[0].error.as_deref().unwrap();
+        assert!(
+            err.contains("worker panicked") && err.contains("injected fault at cell:3"),
+            "{err}"
+        );
+        // Panics are not retried.
+        assert_eq!(failures[0].attempts, 1);
+        for c in res.cells.iter().filter(|c| c.index != 3) {
+            assert!(c.ok(), "cell {} must be unaffected", c.index);
+        }
+    }
+
+    #[test]
+    fn retryable_injected_error_retries_and_succeeds() {
+        let mut spec = tiny_spec();
+        spec.name = "unit-retry".into();
+        spec.configs.truncate(1);
+        spec.workloads.truncate(1);
+        // Fail the first two attempts of cell 1; the third succeeds.
+        let _g = d2m_common::faultpoint::arm("cell@unit-retry:1:error:2").unwrap();
+        let res = run_sweep_with_jobs(&spec, 1);
+        assert!(res.failures().is_empty());
+        assert_eq!(res.cells[1].attempts, 3);
+        assert_eq!(res.cells[0].attempts, 1);
+        // The recovered cell's metrics are the ordinary deterministic ones.
+        let clean = run_sweep_with_jobs(&spec, 1);
+        assert_eq!(res.cells[1].metrics, clean.cells[1].metrics);
+    }
+
+    #[test]
+    fn persistent_injected_error_fails_after_max_attempts() {
+        let mut spec = tiny_spec();
+        spec.name = "unit-exhaust".into();
+        spec.configs.truncate(1);
+        spec.workloads.truncate(1);
+        let _g = d2m_common::faultpoint::arm("cell@unit-exhaust:0:error").unwrap();
+        let res = run_sweep_with_jobs(&spec, 1);
+        let failures = res.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].attempts, MAX_ATTEMPTS);
+        assert!(
+            failures[0]
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("injected transient fault"),
+            "{:?}",
+            failures[0].error
+        );
     }
 
     #[test]

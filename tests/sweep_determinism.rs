@@ -56,6 +56,46 @@ fn oversubscribed_pool_is_also_identical() {
 }
 
 #[test]
+fn faulted_kill_and_resume_stays_byte_identical_across_thread_counts() {
+    // The determinism guarantee must hold on the recovery path too: a sweep
+    // with an injected per-cell fault, killed mid-run (simulated by
+    // truncating the checkpoint journal) and resumed, serializes exactly
+    // like an uninterrupted run — at 1 worker and at 8.
+    let mut s = spec();
+    s.name = "det-fault".into();
+    // Scoped to this sweep's name so the concurrently running tests in this
+    // binary never trip it; unlimited count so it fires deterministically
+    // in every run, including post-resume reruns.
+    let _g = d2m_common::faultpoint::arm("cell@det-fault:5:panic").unwrap();
+    let reference = run_sweep_with_jobs(&s, 1);
+    assert_eq!(reference.failures().len(), 1);
+    assert_eq!(
+        reference.to_json_string(),
+        run_sweep_with_jobs(&s, 8).to_json_string()
+    );
+
+    let dir = std::env::temp_dir().join(format!("d2m-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("det-fault.ckpt");
+    let full = d2m_sim::run_sweep_checkpointed(&s, 1, &path, false).unwrap();
+    assert_eq!(full.to_json_string(), reference.to_json_string());
+
+    // Kill after 4 journaled cells (serial run: line k is cell k), then
+    // resume at both thread counts.
+    let journal = std::fs::read_to_string(&path).unwrap();
+    let kept: Vec<&str> = journal.lines().take(5).collect();
+    for jobs in [1, 8] {
+        std::fs::write(&path, kept.join("\n") + "\n").unwrap();
+        let resumed = d2m_sim::run_sweep_checkpointed(&s, jobs, &path, true).unwrap();
+        assert_eq!(
+            resumed.to_json_string(),
+            reference.to_json_string(),
+            "kill/resume on {jobs} jobs"
+        );
+    }
+}
+
+#[test]
 fn systems_see_the_same_trace_per_workload() {
     // The per-cell seed excludes the system axis, so paired comparisons
     // (speedup, relative EDP) are over the exact same access stream.
